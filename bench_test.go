@@ -1,0 +1,383 @@
+// Repository-level benchmarks: one benchmark family per experiment of
+// EXPERIMENTS.md (E6–E11 are quantitative; E1–E5 are covered by the
+// rewriting micro-benchmarks since their artifacts are rule sets, not
+// run-time measurements). Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/datalog"
+	"repro/internal/adorn"
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/rewrite"
+	"repro/internal/rewrite/counting"
+	gms "repro/internal/rewrite/magic"
+	"repro/internal/rewrite/supmagic"
+	"repro/internal/sip"
+	"repro/internal/topdown"
+	"repro/internal/workload"
+)
+
+const (
+	ancestorSrc = `
+		a(X, Y) :- p(X, Y).
+		a(X, Y) :- p(X, Z), a(Z, Y).
+	`
+	nonlinearSameGenSrc = `
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).
+	`
+	nestedSameGenSrc = `
+		p(X, Y) :- b1(X, Y).
+		p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).
+	`
+	listReverseSrc = `
+		append(V, [], [V]) :- elem(V).
+		append(V, [W | X], [W | Y]) :- append(V, X, Y).
+		reverse([], []) :- emptylist(X).
+		reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).
+	`
+)
+
+// mustRewrite adorns and rewrites a program for a query.
+func mustRewrite(b *testing.B, src, query string, rw rewrite.Rewriter) (*adorn.Program, *rewrite.Rewriting) {
+	b.Helper()
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := parser.ParseQuery(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ad, err := adorn.Adorn(prog, q, sip.FullLeftToRight())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := rw.Rewrite(ad)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ad, res
+}
+
+// evalRewriting evaluates a rewriting over a database clone with its seeds.
+func evalRewriting(b *testing.B, res *rewrite.Rewriting, edb *database.Store) *eval.Stats {
+	b.Helper()
+	db := edb.Clone()
+	for _, seed := range res.Seeds {
+		if _, err := db.AddFact(seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, stats, err := eval.SemiNaive(eval.Options{}).Evaluate(res.Program, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stats
+}
+
+// reportFacts attaches fact counts as custom benchmark metrics so the
+// benchmark output doubles as the experiment's table.
+func reportFacts(b *testing.B, run analysis.StrategyRun) {
+	b.ReportMetric(float64(run.DerivedFacts), "facts")
+	b.ReportMetric(float64(run.AuxFacts), "aux-facts")
+	b.ReportMetric(float64(run.Answers), "answers")
+}
+
+// --- E6: bound ancestor queries on chains -----------------------------------
+
+func BenchmarkE6AncestorChain(b *testing.B) {
+	prog := parser.MustParseProgram(ancestorSrc)
+	for _, n := range []int{100, 400, 1600} {
+		edb, _ := workload.ParentChain("p", n)
+		query := parser.MustParseQuery(fmt.Sprintf("a(n%d, Y)", n/2))
+		ad, err := adorn.Adorn(prog, query, sip.FullLeftToRight())
+		if err != nil {
+			b.Fatal(err)
+		}
+		magicRW, err := gms.New(gms.Options{}).Rewrite(ad)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(fmt.Sprintf("naive-bottom-up/n=%d", n), func(b *testing.B) {
+			var run analysis.StrategyRun
+			for i := 0; i < b.N; i++ {
+				run = analysis.MeasureProgram("naive", prog, query, edb, eval.Options{})
+				if run.Err != nil {
+					b.Fatal(run.Err)
+				}
+			}
+			reportFacts(b, run)
+		})
+		b.Run(fmt.Sprintf("magic/n=%d", n), func(b *testing.B) {
+			var run analysis.StrategyRun
+			for i := 0; i < b.N; i++ {
+				run = analysis.MeasureRewriting("magic", magicRW, edb, eval.Options{})
+				if run.Err != nil {
+					b.Fatal(run.Err)
+				}
+			}
+			reportFacts(b, run)
+		})
+		b.Run(fmt.Sprintf("top-down/n=%d", n), func(b *testing.B) {
+			var run analysis.StrategyRun
+			for i := 0; i < b.N; i++ {
+				run = analysis.MeasureTopDown("top-down", ad, edb, topdown.Options{})
+				if run.Err != nil {
+					b.Fatal(run.Err)
+				}
+			}
+			reportFacts(b, run)
+		})
+	}
+}
+
+// --- E7: sip-optimality verification cost ------------------------------------
+
+func BenchmarkE7SipOptimalityCheck(b *testing.B) {
+	edb, _ := workload.ParentChain("p", 200)
+	ad, rw := mustRewrite(b, ancestorSrc, "a(n50, Y)", gms.New(gms.Options{}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := analysis.VerifySipOptimality(ad, rw, edb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.Optimal() {
+			b.Fatal("expected sip optimality")
+		}
+	}
+}
+
+// --- E8: full vs partial sips --------------------------------------------------
+
+func BenchmarkE8FullVsPartialSip(b *testing.B) {
+	sg := workload.SameGenerationLayers(24, 3, true)
+	prog := parser.MustParseProgram(nonlinearSameGenSrc)
+	query := parser.MustParseQuery(fmt.Sprintf("sg(%s, Y)", sg.Start))
+	for _, strat := range []sip.Strategy{sip.FullLeftToRight(), sip.PartialLeftToRight()} {
+		ad, err := adorn.Adorn(prog, query, strat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rw, err := gms.New(gms.Options{}).Rewrite(ad)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(strat.Name(), func(b *testing.B) {
+			var run analysis.StrategyRun
+			for i := 0; i < b.N; i++ {
+				run = analysis.MeasureRewriting(strat.Name(), rw, sg.Store, eval.Options{})
+				if run.Err != nil {
+					b.Fatal(run.Err)
+				}
+			}
+			reportFacts(b, run)
+		})
+	}
+}
+
+// --- E9: safety in practice -----------------------------------------------------
+
+func BenchmarkE9MagicOnCyclicData(b *testing.B) {
+	cyclic, start := workload.ParentCycle("p", 64)
+	_, rw := mustRewrite(b, ancestorSrc, fmt.Sprintf("a(%s, Y)", start), gms.New(gms.Options{}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evalRewriting(b, rw, cyclic)
+	}
+}
+
+func BenchmarkE9CountingDivergenceGuard(b *testing.B) {
+	cyclic, start := workload.ParentCycle("p", 16)
+	_, rw := mustRewrite(b, ancestorSrc, fmt.Sprintf("a(%s, Y)", start), counting.New(counting.Options{}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := cyclic.Clone()
+		for _, seed := range rw.Seeds {
+			if _, err := db.AddFact(seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_, _, err := eval.SemiNaive(eval.Options{MaxIterations: 64}).Evaluate(rw.Program, db)
+		if !errors.Is(err, eval.ErrLimitExceeded) {
+			b.Fatal("expected the iteration limit to trip on cyclic data")
+		}
+	}
+}
+
+// --- E10: the four rewritings head to head --------------------------------------
+
+func BenchmarkE10Strategies(b *testing.B) {
+	sg := workload.SameGenerationLayers(32, 3, false)
+	query := fmt.Sprintf("sg(%s, Y)", sg.Start)
+	rewriters := []struct {
+		name string
+		rw   rewrite.Rewriter
+	}{
+		{"GMS", gms.New(gms.Options{})},
+		{"GSMS", supmagic.New(supmagic.Options{})},
+		{"GC-semijoin", counting.New(counting.Options{Semijoin: true})},
+		{"GSC-semijoin", counting.NewSupplementary(counting.Options{Semijoin: true})},
+	}
+	for _, r := range rewriters {
+		_, rw := mustRewrite(b, nonlinearSameGenSrc, query, r.rw)
+		b.Run(r.name, func(b *testing.B) {
+			var stats *eval.Stats
+			for i := 0; i < b.N; i++ {
+				stats = evalRewriting(b, rw, sg.Store)
+			}
+			b.ReportMetric(float64(stats.NewFacts), "facts")
+			b.ReportMetric(float64(stats.Derivations), "derivations")
+		})
+	}
+}
+
+// --- E11: semijoin ablation -------------------------------------------------------
+
+func BenchmarkE11SemijoinAblation(b *testing.B) {
+	sg := workload.NestedSameGeneration(32, 3, false)
+	query := fmt.Sprintf("p(%s, Y)", sg.Start)
+	for _, variant := range []struct {
+		name     string
+		semijoin bool
+	}{
+		{"GC-plain", false},
+		{"GC-semijoin", true},
+	} {
+		_, rw := mustRewrite(b, nestedSameGenSrc, query, counting.New(counting.Options{Semijoin: variant.semijoin}))
+		b.Run(variant.name, func(b *testing.B) {
+			var stats *eval.Stats
+			for i := 0; i < b.N; i++ {
+				stats = evalRewriting(b, rw, sg.Store)
+			}
+			b.ReportMetric(float64(stats.NewFacts), "facts")
+			b.ReportMetric(float64(stats.JoinProbes), "probes")
+		})
+	}
+}
+
+// --- list reverse through every strategy (Appendix A.1 problem 4) -----------------
+
+func BenchmarkListReverse(b *testing.B) {
+	wl := workload.List(24)
+	query := fmt.Sprintf("reverse(%s, Y)", wl.List)
+	rewriters := []struct {
+		name string
+		rw   rewrite.Rewriter
+	}{
+		{"GMS", gms.New(gms.Options{})},
+		{"GSMS", supmagic.New(supmagic.Options{})},
+		{"GC", counting.New(counting.Options{})},
+		{"GSC", counting.NewSupplementary(counting.Options{})},
+	}
+	for _, r := range rewriters {
+		_, rw := mustRewrite(b, listReverseSrc, query, r.rw)
+		b.Run(r.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				evalRewriting(b, rw, wl.Store)
+			}
+		})
+	}
+}
+
+// --- substrate micro-benchmarks ----------------------------------------------------
+
+func BenchmarkRewritingOnly(b *testing.B) {
+	prog := parser.MustParseProgram(nestedSameGenSrc)
+	query := parser.MustParseQuery("p(john, Y)")
+	rewriters := []struct {
+		name string
+		rw   rewrite.Rewriter
+	}{
+		{"adorn+GMS", gms.New(gms.Options{})},
+		{"adorn+GSMS", supmagic.New(supmagic.Options{})},
+		{"adorn+GC-semijoin", counting.New(counting.Options{Semijoin: true})},
+	}
+	for _, r := range rewriters {
+		b.Run(r.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ad, err := adorn.Adorn(prog, query, sip.FullLeftToRight())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.rw.Rewrite(ad); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkUnification(b *testing.B) {
+	t1 := ast.C("f", ast.V("X"), ast.C("g", ast.V("Y"), ast.S("a")), ast.List(ast.V("Z"), ast.I(3)))
+	t2 := ast.C("f", ast.S("c"), ast.C("g", ast.I(7), ast.V("W")), ast.List(ast.S("d"), ast.I(3)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := ast.NewSubst()
+		if !ast.Unify(t1, t2, s) {
+			b.Fatal("expected unification to succeed")
+		}
+	}
+}
+
+func BenchmarkParser(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.ParseProgram(nestedSameGenSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatabaseInsertLookup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rel := database.NewRelation("e", 2)
+		for j := 0; j < 200; j++ {
+			rel.MustInsert(database.Tuple{ast.I(int64(j % 50)), ast.I(int64(j))})
+		}
+		hits := 0
+		for j := 0; j < 50; j++ {
+			hits += len(rel.Lookup([]int{0}, []ast.Term{ast.I(int64(j))}))
+		}
+		if hits != 200 {
+			b.Fatalf("hits = %d", hits)
+		}
+	}
+}
+
+func BenchmarkFacadeQuery(b *testing.B) {
+	eng, err := datalog.NewEngine(ancestorSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := eng.Assert("p", fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Query("a(n250, Y)", datalog.Options{Strategy: datalog.MagicSets})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Answers) != 50 {
+			b.Fatalf("answers = %d", len(res.Answers))
+		}
+	}
+}

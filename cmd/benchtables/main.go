@@ -1,0 +1,471 @@
+// Command benchtables regenerates every experiment table of the
+// reproduction (see DESIGN.md and EXPERIMENTS.md): the worked examples of
+// the paper's appendix (E1–E5) and the quantitative comparisons behind its
+// analytical claims (E6–E11).
+//
+// Usage:
+//
+//	benchtables              # run every experiment
+//	benchtables -exp E6      # run a single experiment
+//	benchtables -scale small # smaller workloads (used by the smoke test)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/adorn"
+	"repro/internal/analysis"
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/rewrite"
+	"repro/internal/rewrite/counting"
+	gms "repro/internal/rewrite/magic"
+	"repro/internal/rewrite/supmagic"
+	"repro/internal/safety"
+	"repro/internal/sip"
+	"repro/internal/topdown"
+	"repro/internal/workload"
+)
+
+// The five programs used throughout the paper (Appendix A.1 plus the running
+// nonlinear same-generation example). The paper's bodiless clauses are given
+// explicit base literals (elem, emptylist); see DESIGN.md.
+var programs = map[string]struct {
+	src   string
+	query string
+}{
+	"ancestor": {`
+		a(X, Y) :- p(X, Y).
+		a(X, Y) :- p(X, Z), a(Z, Y).
+	`, "a(john, Y)"},
+	"nonlinear-ancestor": {`
+		a(X, Y) :- p(X, Y).
+		a(X, Y) :- a(X, Z), a(Z, Y).
+	`, "a(john, Y)"},
+	"nested-same-generation": {`
+		p(X, Y) :- b1(X, Y).
+		p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).
+	`, "p(john, Y)"},
+	"list-reverse": {`
+		append(V, [], [V]) :- elem(V).
+		append(V, [W | X], [W | Y]) :- append(V, X, Y).
+		reverse([], []) :- emptylist(X).
+		reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).
+	`, "reverse([a, b, c], Y)"},
+	"nonlinear-same-generation": {`
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).
+	`, "sg(john, Y)"},
+}
+
+// appendixOrder fixes the presentation order of the programs.
+var appendixOrder = []string{
+	"ancestor", "nonlinear-ancestor", "nested-same-generation", "list-reverse", "nonlinear-same-generation",
+}
+
+type harness struct {
+	out   io.Writer
+	scale string
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (E1..E11 or all)")
+	scale := flag.String("scale", "full", "workload scale: full or small")
+	flag.Parse()
+
+	h := &harness{out: os.Stdout, scale: *scale}
+	if err := h.run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func (h *harness) run(exp string) error {
+	type experiment struct {
+		id, title string
+		fn        func() error
+	}
+	experiments := []experiment{
+		{"E1", "Adorned rule sets (Appendix A.2)", h.e1},
+		{"E2", "Generalized magic sets (Appendix A.3)", h.e2},
+		{"E3", "Generalized supplementary magic sets (Appendix A.4)", h.e3},
+		{"E4", "Generalized counting (Appendix A.5, Examples 6 and 8)", h.e4},
+		{"E5", "Generalized supplementary counting (Appendix A.6, Example 7)", h.e5},
+		{"E6", "Bound queries: full bottom-up vs magic vs top-down (Section 1)", h.e6},
+		{"E7", "Sip optimality and the cost of magic facts (Section 9)", h.e7},
+		{"E8", "Full vs partial sips (Lemma 9.3)", h.e8},
+		{"E9", "Safety matrix (Section 10)", h.e9},
+		{"E10", "Magic vs supplementary magic vs counting (Section 11)", h.e10},
+		{"E11", "Semijoin optimization ablation (Section 8)", h.e11},
+	}
+	ran := false
+	for _, e := range experiments {
+		if exp != "all" && !strings.EqualFold(exp, e.id) {
+			continue
+		}
+		ran = true
+		fmt.Fprintf(h.out, "==================================================================\n")
+		fmt.Fprintf(h.out, "%s — %s\n", e.id, e.title)
+		fmt.Fprintf(h.out, "==================================================================\n")
+		if err := e.fn(); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprintln(h.out)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// --- shared helpers --------------------------------------------------------
+
+func (h *harness) adorned(name string, strat sip.Strategy) (*adorn.Program, error) {
+	p := programs[name]
+	prog, err := parser.ParseProgram(p.src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := parser.ParseQuery(p.query)
+	if err != nil {
+		return nil, err
+	}
+	return adorn.Adorn(prog, q, strat)
+}
+
+func (h *harness) rewriteAll(name string, rw rewrite.Rewriter) (*rewrite.Rewriting, error) {
+	ad, err := h.adorned(name, sip.FullLeftToRight())
+	if err != nil {
+		return nil, err
+	}
+	return rw.Rewrite(ad)
+}
+
+func (h *harness) printRewriting(name string, res *rewrite.Rewriting) {
+	fmt.Fprintf(h.out, "--- %s ---\n", name)
+	fmt.Fprint(h.out, res.String())
+}
+
+// sizes returns the workload sizes for the quantitative experiments.
+func (h *harness) sizes() []int {
+	if h.scale == "small" {
+		return []int{20, 60}
+	}
+	return []int{100, 400, 1600}
+}
+
+func timed(f func() analysis.StrategyRun) analysis.StrategyRun {
+	start := time.Now()
+	run := f()
+	elapsed := time.Since(start)
+	run.Strategy = fmt.Sprintf("%-28s %10s", run.Strategy, elapsed.Round(time.Microsecond))
+	return run
+}
+
+// --- E1..E5: the appendix rule sets -----------------------------------------
+
+func (h *harness) e1() error {
+	for _, name := range appendixOrder {
+		ad, err := h.adorned(name, sip.FullLeftToRight())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(h.out, "--- %s ---\n", name)
+		fmt.Fprint(h.out, ad.String())
+	}
+	return nil
+}
+
+func (h *harness) e2() error {
+	for _, name := range appendixOrder {
+		res, err := h.rewriteAll(name, gms.New(gms.Options{}))
+		if err != nil {
+			return err
+		}
+		h.printRewriting(name, res)
+	}
+	return nil
+}
+
+func (h *harness) e3() error {
+	for _, name := range appendixOrder {
+		res, err := h.rewriteAll(name, supmagic.New(supmagic.Options{}))
+		if err != nil {
+			return err
+		}
+		h.printRewriting(name, res)
+	}
+	return nil
+}
+
+func (h *harness) e4() error {
+	for _, name := range appendixOrder {
+		plain, err := h.rewriteAll(name, counting.New(counting.Options{}))
+		if err != nil {
+			return err
+		}
+		h.printRewriting(name+" (GC)", plain)
+		opt, err := h.rewriteAll(name, counting.New(counting.Options{Semijoin: true}))
+		if err != nil {
+			return err
+		}
+		if opt.DroppedAnswerBound {
+			h.printRewriting(name+" (GC + semijoin)", opt)
+		} else {
+			fmt.Fprintf(h.out, "--- %s (GC + semijoin) --- not applicable (Theorem 8.3 conditions fail)\n", name)
+		}
+	}
+	return nil
+}
+
+func (h *harness) e5() error {
+	for _, name := range appendixOrder {
+		plain, err := h.rewriteAll(name, counting.NewSupplementary(counting.Options{}))
+		if err != nil {
+			return err
+		}
+		h.printRewriting(name+" (GSC)", plain)
+		opt, err := h.rewriteAll(name, counting.NewSupplementary(counting.Options{Semijoin: true}))
+		if err != nil {
+			return err
+		}
+		if opt.DroppedAnswerBound {
+			h.printRewriting(name+" (GSC + semijoin)", opt)
+		}
+	}
+	return nil
+}
+
+// --- E6: bound queries on chains and trees ----------------------------------
+
+func (h *harness) e6() error {
+	prog, _ := parser.ParseProgram(programs["ancestor"].src)
+	for _, n := range h.sizes() {
+		edb, _ := workload.ParentChain("p", n)
+		boundNode := fmt.Sprintf("n%d", n/2)
+		query, _ := parser.ParseQuery(fmt.Sprintf("a(%s, Y)", boundNode))
+		ad, err := adorn.Adorn(prog, query, sip.FullLeftToRight())
+		if err != nil {
+			return err
+		}
+		magicRW, err := gms.New(gms.Options{}).Rewrite(ad)
+		if err != nil {
+			return err
+		}
+		supRW, err := supmagic.New(supmagic.Options{}).Rewrite(ad)
+		if err != nil {
+			return err
+		}
+
+		runs := []analysis.StrategyRun{
+			timed(func() analysis.StrategyRun {
+				return analysis.MeasureProgram("naive bottom-up + select", prog, query, edb, eval.Options{})
+			}),
+			timed(func() analysis.StrategyRun {
+				return analysis.MeasureRewriting("generalized magic sets", magicRW, edb, eval.Options{})
+			}),
+			timed(func() analysis.StrategyRun {
+				return analysis.MeasureRewriting("generalized supplementary magic", supRW, edb, eval.Options{})
+			}),
+			timed(func() analysis.StrategyRun {
+				return analysis.MeasureTopDown("top-down (QSQ reference)", ad, edb, topdown.Options{})
+			}),
+		}
+		fmt.Fprintf(h.out, "ancestor chain, %d edges, query a(%s, Y):\n", n, boundNode)
+		fmt.Fprint(h.out, analysis.FormatRuns(runs))
+		fmt.Fprintln(h.out)
+	}
+	return nil
+}
+
+// --- E7: sip optimality and the fraction of magic facts ---------------------
+
+func (h *harness) e7() error {
+	type instance struct {
+		name  string
+		src   string
+		query string
+		edb   *database.Store
+	}
+	sgWorkload := workload.SameGenerationLayers(h.pick(12, 40), 3, true)
+	chain, _ := workload.ParentChain("p", h.pick(60, 400))
+	instances := []instance{
+		{"ancestor / chain", programs["ancestor"].src, "a(n5, Y)", chain},
+		{"nonlinear same generation / layers", programs["nonlinear-same-generation"].src, fmt.Sprintf("sg(%s, Y)", sgWorkload.Start), sgWorkload.Store},
+	}
+	for _, inst := range instances {
+		prog, _ := parser.ParseProgram(inst.src)
+		q, _ := parser.ParseQuery(inst.query)
+		ad, err := adorn.Adorn(prog, q, sip.FullLeftToRight())
+		if err != nil {
+			return err
+		}
+		rw, err := gms.New(gms.Options{}).Rewrite(ad)
+		if err != nil {
+			return err
+		}
+		report, err := analysis.VerifySipOptimality(ad, rw, inst.edb)
+		if err != nil {
+			return err
+		}
+		run := analysis.MeasureRewriting("magic", rw, inst.edb, eval.Options{})
+		fmt.Fprintf(h.out, "%-42s sip-optimal=%v  magic facts=%d  queries(Q)=%d  answer facts=%d  F=%d  aux fraction=%.2f\n",
+			inst.name, report.Optimal(), report.MagicFacts, report.Queries, report.AnswerFacts, report.ReferenceFacts, run.AuxFraction())
+	}
+	return nil
+}
+
+func (h *harness) pick(small, full int) int {
+	if h.scale == "small" {
+		return small
+	}
+	return full
+}
+
+// --- E8: full vs partial sips ------------------------------------------------
+
+func (h *harness) e8() error {
+	prog, _ := parser.ParseProgram(programs["nonlinear-same-generation"].src)
+	sg := workload.SameGenerationLayers(h.pick(24, 160), h.pick(3, 6), true)
+	q, _ := parser.ParseQuery(fmt.Sprintf("sg(%s, Y)", sg.Start))
+	var runs []analysis.StrategyRun
+	for _, strat := range []sip.Strategy{sip.FullLeftToRight(), sip.PartialLeftToRight()} {
+		ad, err := adorn.Adorn(prog, q, strat)
+		if err != nil {
+			return err
+		}
+		rw, err := gms.New(gms.Options{}).Rewrite(ad)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, timed(func() analysis.StrategyRun {
+			return analysis.MeasureRewriting("magic / "+strat.Name(), rw, sg.Store, eval.Options{})
+		}))
+	}
+	fmt.Fprint(h.out, analysis.FormatRuns(runs))
+	fmt.Fprintln(h.out, "Lemma 9.3: the full sip's fact counts are never above the partial sip's.")
+	return nil
+}
+
+// --- E9: safety matrix --------------------------------------------------------
+
+func (h *harness) e9() error {
+	fmt.Fprintf(h.out, "%-28s %9s %11s %14s %22s\n", "program", "datalog", "magic safe", "counting safe", "counting diverges (10.3)")
+	for _, name := range appendixOrder {
+		ad, err := h.adorned(name, sip.FullLeftToRight())
+		if err != nil {
+			return err
+		}
+		rep := safety.Analyze(ad)
+		fmt.Fprintf(h.out, "%-28s %9v %11v %14v %22v\n",
+			name, rep.IsDatalog, rep.MagicSafe, rep.CountingSafe, rep.CountingMayDivergeOnAllData)
+	}
+
+	// Empirical confirmation on cyclic data: magic terminates, counting hits
+	// its iteration limit.
+	cyclic, start := workload.ParentCycle("p", 6)
+	prog, _ := parser.ParseProgram(programs["ancestor"].src)
+	q, _ := parser.ParseQuery(fmt.Sprintf("a(%s, Y)", start))
+	ad, _ := adorn.Adorn(prog, q, sip.FullLeftToRight())
+	magicRW, _ := gms.New(gms.Options{}).Rewrite(ad)
+	countRW, _ := counting.New(counting.Options{}).Rewrite(ad)
+	magicRun := analysis.MeasureRewriting("magic on a 6-cycle", magicRW, cyclic, eval.Options{})
+	countRun := analysis.MeasureRewriting("counting on a 6-cycle (limit 50 iterations)", countRW, cyclic, eval.Options{MaxIterations: 50})
+	fmt.Fprintln(h.out)
+	fmt.Fprint(h.out, analysis.FormatRuns([]analysis.StrategyRun{magicRun, countRun}))
+	if countRun.Err == nil || !errors.Is(countRun.Err, eval.ErrLimitExceeded) {
+		return fmt.Errorf("expected the counting run to exceed its limit on cyclic data")
+	}
+	return nil
+}
+
+// --- E10: magic vs supplementary magic vs counting ----------------------------
+
+func (h *harness) e10() error {
+	prog, _ := parser.ParseProgram(programs["nonlinear-same-generation"].src)
+	for _, depth := range h.sgDepths() {
+		leaves := h.pick(24, 200)
+		sg := workload.SameGenerationLayers(leaves, depth, false)
+		q, _ := parser.ParseQuery(fmt.Sprintf("sg(%s, Y)", sg.Start))
+		ad, err := adorn.Adorn(prog, q, sip.FullLeftToRight())
+		if err != nil {
+			return err
+		}
+		magicRW, _ := gms.New(gms.Options{}).Rewrite(ad)
+		supRW, _ := supmagic.New(supmagic.Options{}).Rewrite(ad)
+		gcRW, _ := counting.New(counting.Options{Semijoin: true}).Rewrite(ad)
+		gscRW, _ := counting.NewSupplementary(counting.Options{Semijoin: true}).Rewrite(ad)
+
+		runs := []analysis.StrategyRun{
+			timed(func() analysis.StrategyRun {
+				return analysis.MeasureRewriting("GMS", magicRW, sg.Store, eval.Options{})
+			}),
+			timed(func() analysis.StrategyRun {
+				return analysis.MeasureRewriting("GSMS", supRW, sg.Store, eval.Options{})
+			}),
+			timed(func() analysis.StrategyRun {
+				return analysis.MeasureRewriting("GC + semijoin", gcRW, sg.Store, eval.Options{MaxIterations: 10000})
+			}),
+			timed(func() analysis.StrategyRun {
+				return analysis.MeasureRewriting("GSC + semijoin", gscRW, sg.Store, eval.Options{MaxIterations: 10000})
+			}),
+		}
+		fmt.Fprintf(h.out, "nonlinear same generation, %d leaves x %d layers (acyclic):\n", leaves, depth)
+		fmt.Fprint(h.out, analysis.FormatRuns(runs))
+		fmt.Fprintln(h.out)
+	}
+	return nil
+}
+
+// sgDepths returns the recursion depths used by E10.
+func (h *harness) sgDepths() []int {
+	if h.scale == "small" {
+		return []int{3}
+	}
+	return []int{3, 5, 7}
+}
+
+// sgSizes returns the leaf counts used by E11.
+func (h *harness) sgSizes() []int {
+	if h.scale == "small" {
+		return []int{8}
+	}
+	return []int{16, 48, 96}
+}
+
+// --- E11: semijoin ablation ----------------------------------------------------
+
+func (h *harness) e11() error {
+	prog, _ := parser.ParseProgram(programs["nested-same-generation"].src)
+	for _, leaves := range h.sgSizes() {
+		sg := workload.NestedSameGeneration(leaves, 3, false)
+		q, _ := parser.ParseQuery(fmt.Sprintf("p(%s, Y)", sg.Start))
+		ad, err := adorn.Adorn(prog, q, sip.FullLeftToRight())
+		if err != nil {
+			return err
+		}
+		plain, _ := counting.New(counting.Options{}).Rewrite(ad)
+		optimized, _ := counting.New(counting.Options{Semijoin: true}).Rewrite(ad)
+		runs := []analysis.StrategyRun{
+			timed(func() analysis.StrategyRun {
+				return analysis.MeasureRewriting(fmt.Sprintf("GC (answer arity %d)", plain.AnswerArity), plain, sg.Store, eval.Options{MaxIterations: 10000})
+			}),
+			timed(func() analysis.StrategyRun {
+				return analysis.MeasureRewriting(fmt.Sprintf("GC + semijoin (answer arity %d)", optimized.AnswerArity), optimized, sg.Store, eval.Options{MaxIterations: 10000})
+			}),
+		}
+		fmt.Fprintf(h.out, "nested same generation, %d leaves x 3 layers (acyclic):\n", leaves)
+		fmt.Fprint(h.out, analysis.FormatRuns(runs))
+		fmt.Fprintln(h.out)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHarnessSmallScale runs every experiment at small scale as a smoke test
+// of the harness itself; the assertions inside each experiment (for example
+// the divergence check of E9) run as part of it.
+func TestHarnessSmallScale(t *testing.T) {
+	var out bytes.Buffer
+	h := &harness{out: &out, scale: "small"}
+	if err := h.run("all"); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"E1 —", "E2 —", "E3 —", "E4 —", "E5 —", "E6 —", "E7 —", "E8 —", "E9 —", "E10 —", "E11 —",
+		"magic_a^bf(john)", "sup_2_2", "cnt_a_ind^bf(0, 0, 0, john)",
+		"sip-optimal=true",
+		"counting diverges (10.3)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("harness output missing %q", want)
+		}
+	}
+}
+
+func TestHarnessSingleExperimentAndErrors(t *testing.T) {
+	var out bytes.Buffer
+	h := &harness{out: &out, scale: "small"}
+	if err := h.run("E9"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "E6 —") {
+		t.Error("only E9 should have run")
+	}
+	if err := h.run("E99"); err == nil {
+		t.Error("unknown experiment must be rejected")
+	}
+}

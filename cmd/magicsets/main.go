@@ -1,0 +1,129 @@
+// Command magicsets rewrites and evaluates Horn-clause queries using the
+// strategies of Beeri & Ramakrishnan, "On the Power of Magic".
+//
+// Usage:
+//
+//	magicsets -program prog.dl [-facts facts.dl] -query "anc(john, Y)" \
+//	          [-strategy magic] [-sip full] [-semijoin] \
+//	          [-show-rewrite] [-show-safety] [-stats] \
+//	          [-max-iterations N] [-max-facts N]
+//
+// The program file contains rules (and optionally facts); the facts file
+// contains ground facts only. The query is a single atom whose constant
+// arguments are the bound positions. Answers are printed one per line as
+// tuples of the query's free variables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/datalog"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "magicsets:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("magicsets", flag.ContinueOnError)
+	programPath := fs.String("program", "", "path to the program (rules, optionally facts)")
+	factsPath := fs.String("facts", "", "path to an additional facts file")
+	query := fs.String("query", "", "query atom, e.g. 'anc(john, Y)'")
+	strategy := fs.String("strategy", "magic", "evaluation strategy: naive, semi-naive, top-down, magic, supplementary-magic, counting, supplementary-counting")
+	sipPolicy := fs.String("sip", "full", "sip policy for the rewriting strategies: full or partial")
+	semijoin := fs.Bool("semijoin", false, "apply the semijoin optimization to the counting rewritings")
+	keepGuards := fs.Bool("keep-guards", false, "keep all magic guards (disable the Proposition 4.3 simplification)")
+	simplify := fs.Bool("simplify", false, "drop tautological and duplicate rules from the rewritten program")
+	showRewrite := fs.Bool("show-rewrite", false, "print the rewritten program and its seed facts")
+	showSafety := fs.Bool("show-safety", false, "print the Section 10 safety report")
+	showStats := fs.Bool("stats", false, "print evaluation statistics")
+	maxIterations := fs.Int("max-iterations", 0, "bound the number of bottom-up iterations (0 = unlimited)")
+	maxFacts := fs.Int("max-facts", 0, "bound the number of derived facts (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *programPath == "" || *query == "" {
+		fs.Usage()
+		return fmt.Errorf("both -program and -query are required")
+	}
+
+	programSrc, err := os.ReadFile(*programPath)
+	if err != nil {
+		return err
+	}
+	eng, err := datalog.NewEngine(string(programSrc))
+	if err != nil {
+		return err
+	}
+	if *factsPath != "" {
+		factsSrc, err := os.ReadFile(*factsPath)
+		if err != nil {
+			return err
+		}
+		if err := eng.AssertText(string(factsSrc)); err != nil {
+			return err
+		}
+	}
+
+	strat, err := datalog.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	opts := datalog.Options{
+		Strategy:      strat,
+		Sip:           datalog.SipPolicy(*sipPolicy),
+		Semijoin:      *semijoin,
+		KeepAllGuards: *keepGuards,
+		Simplify:      *simplify,
+		MaxIterations: *maxIterations,
+		MaxFacts:      *maxFacts,
+	}
+
+	res, err := eng.Query(*query, opts)
+	if err != nil {
+		return err
+	}
+
+	if *showRewrite && res.RewrittenProgram != "" {
+		fmt.Fprintln(out, "% rewritten program")
+		fmt.Fprint(out, res.RewrittenProgram)
+		for _, s := range res.Seeds {
+			fmt.Fprintf(out, "%s.\n", s)
+		}
+		fmt.Fprintln(out)
+	}
+	if *showSafety && res.Safety != nil {
+		fmt.Fprintln(out, "% safety report")
+		fmt.Fprintf(out, "%%   datalog: %v\n", res.Safety.IsDatalog)
+		fmt.Fprintf(out, "%%   magic safe: %v (%s)\n", res.Safety.MagicSafe, res.Safety.MagicSafeReason)
+		fmt.Fprintf(out, "%%   counting safe on all data: %v\n", res.Safety.CountingSafe)
+		fmt.Fprintf(out, "%%   counting diverges regardless of data: %v\n", res.Safety.CountingDivergesOnAllData)
+		fmt.Fprintln(out)
+	}
+
+	fmt.Fprintf(out, "%% %d answer(s) to %s\n", len(res.Answers), *query)
+	for _, a := range res.Answers {
+		fmt.Fprintln(out, strings.Trim(a.String(), "()"))
+	}
+
+	if *showStats {
+		s := res.Stats
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "% statistics")
+		fmt.Fprintf(out, "%%   strategy:        %s (sip %s)\n", s.Strategy, s.Sip)
+		fmt.Fprintf(out, "%%   rewritten rules: %d\n", s.RewrittenRules)
+		fmt.Fprintf(out, "%%   derived facts:   %d\n", s.DerivedFacts)
+		fmt.Fprintf(out, "%%   auxiliary facts: %d\n", s.AuxFacts)
+		fmt.Fprintf(out, "%%   derivations:     %d\n", s.Derivations)
+		fmt.Fprintf(out, "%%   iterations:      %d\n", s.Iterations)
+		fmt.Fprintf(out, "%%   join probes:     %d\n", s.JoinProbes)
+	}
+	return nil
+}

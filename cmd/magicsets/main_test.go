@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAncestorQuery(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "anc.dl", `
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- par(X, Z), anc(Z, Y).
+	`)
+	facts := writeFile(t, dir, "facts.dl", `
+		par(john, mary).
+		par(mary, sue).
+		par(bob, alice).
+	`)
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-program", prog, "-facts", facts,
+		"-query", "anc(john, Y)",
+		"-strategy", "magic",
+		"-show-rewrite", "-show-safety", "-stats",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"2 answer(s)", "mary", "sue", "magic_anc", "magic safe: true", "derived facts"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "alice") {
+		t.Error("the unrelated branch must not appear among the answers")
+	}
+}
+
+func TestRunStrategies(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "anc.dl", `
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- par(X, Z), anc(Z, Y).
+		par(a, b). par(b, c). par(c, d).
+	`)
+	for _, strategy := range []string{"naive", "semi-naive", "top-down", "magic", "supplementary-magic", "counting", "supplementary-counting"} {
+		var out bytes.Buffer
+		err := run([]string{"-program", prog, "-query", "anc(a, Y)", "-strategy", strategy}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if !strings.Contains(out.String(), "3 answer(s)") {
+			t.Errorf("%s: expected 3 answers:\n%s", strategy, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.dl", "p(X) :- q(X).")
+	cases := [][]string{
+		{},                 // missing flags
+		{"-program", prog}, // missing query
+		{"-program", "/nonexistent", "-query", "p(X)"},
+		{"-program", prog, "-query", "p(X)", "-strategy", "bogus"},
+		{"-program", prog, "-query", "p(X", "-strategy", "magic"},
+		{"-program", prog, "-facts", "/nonexistent", "-query", "p(a)"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("expected an error for args %v", args)
+		}
+	}
+}

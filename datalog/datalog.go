@@ -1,0 +1,565 @@
+// Package datalog is the public API of this repository: a deductive
+// database engine for Horn-clause (Datalog with function symbols) programs
+// whose query evaluation is organized exactly as in Beeri & Ramakrishnan,
+// "On the Power of Magic" (PODS 1987 / JLP 1991) — a sideways
+// information-passing strategy per rule, a program rewriting that compiles
+// the sip collection into the program, and plain bottom-up evaluation of the
+// rewritten program.
+//
+// A typical use:
+//
+//	eng, err := datalog.NewEngine(`
+//	    anc(X, Y) :- par(X, Y).
+//	    anc(X, Y) :- par(X, Z), anc(Z, Y).
+//	`)
+//	if err != nil { ... }
+//	if err := eng.AssertText(`par(john, mary). par(mary, sue).`); err != nil { ... }
+//	res, err := eng.Query("anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets})
+//	for _, a := range res.Answers {
+//	    fmt.Println(a.Values) // ["mary"], ["sue"]
+//	}
+//
+// The available strategies cover the whole design space the paper compares:
+// naive and semi-naive bottom-up evaluation of the unrewritten program, the
+// memoizing top-down reference strategy, and bottom-up evaluation of the
+// generalized magic-sets, supplementary magic-sets, counting and
+// supplementary counting rewritings, with full or partial left-to-right sips
+// and the optional semijoin optimization of the counting methods.
+package datalog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/rewrite"
+	"repro/internal/rewrite/counting"
+	gms "repro/internal/rewrite/magic"
+	"repro/internal/rewrite/supmagic"
+	"repro/internal/safety"
+	"repro/internal/sip"
+	"repro/internal/topdown"
+)
+
+// Strategy selects how a query is evaluated.
+type Strategy string
+
+// The evaluation strategies.
+const (
+	// Naive evaluates the unrewritten program bottom-up, recomputing every
+	// rule in every iteration, and then selects the answers (the Section 1
+	// strawman).
+	Naive Strategy = "naive"
+	// SemiNaive evaluates the unrewritten program bottom-up with the
+	// semi-naive refinement, then selects the answers.
+	SemiNaive Strategy = "semi-naive"
+	// TopDown runs the memoizing top-down (QSQ-style) reference strategy on
+	// the adorned program.
+	TopDown Strategy = "top-down"
+	// MagicSets rewrites with generalized magic sets (Section 4) and
+	// evaluates the result bottom-up.
+	MagicSets Strategy = "magic"
+	// SupplementaryMagicSets rewrites with generalized supplementary magic
+	// sets (Section 5).
+	SupplementaryMagicSets Strategy = "supplementary-magic"
+	// Counting rewrites with generalized counting (Section 6).
+	Counting Strategy = "counting"
+	// SupplementaryCounting rewrites with generalized supplementary counting
+	// (Section 7).
+	SupplementaryCounting Strategy = "supplementary-counting"
+)
+
+// Strategies lists every supported strategy in presentation order.
+func Strategies() []Strategy {
+	return []Strategy{Naive, SemiNaive, TopDown, MagicSets, SupplementaryMagicSets, Counting, SupplementaryCounting}
+}
+
+// ParseStrategy converts a string (as used on the command line) into a
+// Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	for _, st := range Strategies() {
+		if string(st) == s {
+			return st, nil
+		}
+	}
+	return "", fmt.Errorf("datalog: unknown strategy %q (want one of %v)", s, Strategies())
+}
+
+// SipPolicy selects which sideways information-passing strategy is attached
+// to each rule during adornment.
+type SipPolicy string
+
+// The sip policies.
+const (
+	// SipFull is the full (compressed) left-to-right sip: every binding
+	// obtained so far is passed to each later derived literal.
+	SipFull SipPolicy = "full"
+	// SipPartial is the partial left-to-right sip: only the bindings
+	// produced since the previous derived literal are passed on.
+	SipPartial SipPolicy = "partial"
+	// SipGreedy chooses the body evaluation order greedily, preferring the
+	// literal with the most bound arguments at each step, and passes every
+	// available binding (a full sip over the chosen order). Use it when the
+	// textual order of a rule's body is a poor evaluation order.
+	SipGreedy SipPolicy = "greedy"
+)
+
+// Options configure one query evaluation.
+type Options struct {
+	// Strategy selects the evaluation strategy; the zero value means
+	// MagicSets.
+	Strategy Strategy
+	// Sip selects the sip policy for the rewriting strategies; the zero
+	// value means SipFull.
+	Sip SipPolicy
+	// Semijoin applies the semijoin optimization of Section 8 to the
+	// counting rewritings (ignored by other strategies, and silently skipped
+	// when the program does not qualify under Theorem 8.3).
+	Semijoin bool
+	// KeepAllGuards disables the Proposition 4.3 simplification of the
+	// magic-sets rewriting, inserting a magic guard before every derived
+	// body occurrence.
+	KeepAllGuards bool
+	// Simplify removes tautological and duplicate rules from the rewritten
+	// program before evaluation (for example the magic_a(X) :- magic_a(X)
+	// rule of the nonlinear-ancestor rewriting).
+	Simplify bool
+	// MaxIterations, MaxFacts and MaxDerivations bound the bottom-up
+	// evaluation (0 = unlimited); ErrLimitExceeded is reported when a bound
+	// is hit, which is how non-terminating evaluations (e.g. counting on
+	// cyclic data) are observed safely.
+	MaxIterations  int
+	MaxFacts       int
+	MaxDerivations int64
+}
+
+// ErrLimitExceeded is returned (wrapped) when evaluation exceeds a limit set
+// in Options before completing.
+var ErrLimitExceeded = errors.New("datalog: evaluation limit exceeded")
+
+// Answer is a single answer to a query: the values of the query's free
+// variables, in the order those variables appear in the query.
+type Answer struct {
+	// Values holds the answer terms rendered in source syntax.
+	Values []string
+}
+
+// String renders the answer as a parenthesized tuple.
+func (a Answer) String() string { return "(" + strings.Join(a.Values, ", ") + ")" }
+
+// Stats summarizes the work done to answer a query.
+type Stats struct {
+	// Strategy echoes the strategy used.
+	Strategy Strategy
+	// Sip echoes the sip policy used (empty for non-rewriting strategies).
+	Sip SipPolicy
+	// RewrittenRules is the number of rules in the rewritten program (0 when
+	// no rewriting was performed).
+	RewrittenRules int
+	// DerivedFacts counts the facts computed for (rewritten) derived
+	// predicates, excluding auxiliary predicates.
+	DerivedFacts int
+	// AuxFacts counts the facts computed for the auxiliary predicates
+	// introduced by the rewriting (magic, supplementary, counting), or the
+	// number of memoized subqueries for the top-down strategy.
+	AuxFacts int
+	// Derivations counts successful rule firings (or body instantiations).
+	Derivations int64
+	// Iterations is the number of bottom-up iterations or top-down passes.
+	Iterations int
+	// JoinProbes counts tuple match attempts during bottom-up evaluation.
+	JoinProbes int64
+}
+
+// TotalFacts returns DerivedFacts + AuxFacts.
+func (s Stats) TotalFacts() int { return s.DerivedFacts + s.AuxFacts }
+
+// Result is the outcome of a query evaluation.
+type Result struct {
+	// Answers lists the answers in discovery order.
+	Answers []Answer
+	// Stats summarizes the evaluation.
+	Stats Stats
+	// RewrittenProgram is the rewritten program in source syntax (empty for
+	// strategies that do not rewrite).
+	RewrittenProgram string
+	// Seeds are the seed facts added for the rewritten program, in source
+	// syntax.
+	Seeds []string
+	// Safety is the safety report for the adorned program (nil for the
+	// non-rewriting strategies, which do not adorn).
+	Safety *SafetyReport
+}
+
+// AnswerSet returns the answers as a set of rendered tuples, convenient for
+// order-independent comparisons.
+func (r *Result) AnswerSet() map[string]bool {
+	set := make(map[string]bool, len(r.Answers))
+	for _, a := range r.Answers {
+		set[a.String()] = true
+	}
+	return set
+}
+
+// SafetyReport is the public projection of the Section 10 safety analysis.
+type SafetyReport struct {
+	// IsDatalog reports whether the program is function-free.
+	IsDatalog bool
+	// MagicSafe reports that bottom-up evaluation of the magic rewriting is
+	// guaranteed to terminate (Theorems 10.1/10.2), with the reason.
+	MagicSafe       bool
+	MagicSafeReason string
+	// CountingSafe reports that the counting rewritings are guaranteed to
+	// terminate on every database (Theorem 10.1).
+	CountingSafe bool
+	// CountingDivergesOnAllData reports that the counting rewritings diverge
+	// for this query regardless of the data (Theorem 10.3).
+	CountingDivergesOnAllData bool
+}
+
+// Engine holds a program and a database of facts, and answers queries.
+type Engine struct {
+	program *ast.Program
+	store   *database.Store
+}
+
+// NewEngine parses a program (rules only; facts are added separately with
+// Assert/AssertText) and returns an engine with an empty database.
+func NewEngine(programSrc string) (*Engine, error) {
+	unit, err := parser.Parse(programSrc)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	if len(unit.Queries) > 0 {
+		return nil, fmt.Errorf("datalog: the program text contains a query; pass queries to Engine.Query instead")
+	}
+	eng := &Engine{program: unit.Program(), store: database.NewStore()}
+	if err := eng.store.AddFacts(unit.Facts); err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	if _, err := eng.program.Arities(); err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	return eng, nil
+}
+
+// AssertText parses and adds ground facts (e.g. "par(john, mary). par(mary, sue).").
+func (e *Engine) AssertText(factsSrc string) error {
+	unit, err := parser.Parse(factsSrc)
+	if err != nil {
+		return fmt.Errorf("datalog: %w", err)
+	}
+	if len(unit.Rules) > 0 || len(unit.Queries) > 0 {
+		return fmt.Errorf("datalog: AssertText accepts facts only")
+	}
+	return e.store.AddFacts(unit.Facts)
+}
+
+// Assert adds a single ground fact given as predicate name and constant
+// arguments (strings become symbolic constants, int64/int become integers).
+func (e *Engine) Assert(pred string, args ...any) error {
+	terms := make([]ast.Term, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case string:
+			terms[i] = ast.S(v)
+		case int:
+			terms[i] = ast.I(int64(v))
+		case int64:
+			terms[i] = ast.I(v)
+		default:
+			return fmt.Errorf("datalog: unsupported argument type %T", a)
+		}
+	}
+	_, err := e.store.AddFact(ast.NewAtom(pred, terms...))
+	return err
+}
+
+// FactCount returns the number of facts currently stored for a predicate.
+func (e *Engine) FactCount(pred string) int { return e.store.FactCount(pred) }
+
+// ProgramText returns the engine's program in source syntax.
+func (e *Engine) ProgramText() string { return e.program.String() }
+
+// Rules returns the number of rules in the program.
+func (e *Engine) Rules() int { return len(e.program.Rules) }
+
+// sipStrategy maps a SipPolicy to its implementation.
+func sipStrategy(p SipPolicy) (sip.Strategy, error) {
+	switch p {
+	case "", SipFull:
+		return sip.FullLeftToRight(), nil
+	case SipPartial:
+		return sip.PartialLeftToRight(), nil
+	case SipGreedy:
+		return sip.GreedyBoundFirst(), nil
+	default:
+		return nil, fmt.Errorf("datalog: unknown sip policy %q", p)
+	}
+}
+
+// rewriter maps a Strategy to its rewriter, or nil for non-rewriting
+// strategies.
+func rewriter(opts Options) (rewrite.Rewriter, error) {
+	switch opts.Strategy {
+	case MagicSets, "":
+		return gms.New(gms.Options{KeepAllGuards: opts.KeepAllGuards}), nil
+	case SupplementaryMagicSets:
+		return supmagic.New(supmagic.Options{}), nil
+	case Counting:
+		return counting.New(counting.Options{Semijoin: opts.Semijoin}), nil
+	case SupplementaryCounting:
+		return counting.NewSupplementary(counting.Options{Semijoin: opts.Semijoin}), nil
+	default:
+		return nil, nil
+	}
+}
+
+// Query evaluates a query such as "anc(john, Y)" with the given options.
+func (e *Engine) Query(querySrc string, opts Options) (*Result, error) {
+	q, err := parser.ParseQuery(querySrc)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	if opts.Strategy == "" {
+		opts.Strategy = MagicSets
+	}
+	switch opts.Strategy {
+	case Naive, SemiNaive:
+		return e.evaluateDirect(q, opts)
+	case TopDown:
+		return e.evaluateTopDown(q, opts)
+	case MagicSets, SupplementaryMagicSets, Counting, SupplementaryCounting:
+		return e.evaluateRewritten(q, opts)
+	default:
+		return nil, fmt.Errorf("datalog: unknown strategy %q", opts.Strategy)
+	}
+}
+
+// Rewrite returns the rewritten program (and its seeds) for a query without
+// evaluating it. It is the programmatic face of the paper's transformations.
+func (e *Engine) Rewrite(querySrc string, opts Options) (*Result, error) {
+	q, err := parser.ParseQuery(querySrc)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	if opts.Strategy == "" {
+		opts.Strategy = MagicSets
+	}
+	rw, err := rewriter(opts)
+	if err != nil || rw == nil {
+		if err == nil {
+			err = fmt.Errorf("datalog: strategy %q does not rewrite the program", opts.Strategy)
+		}
+		return nil, err
+	}
+	ad, err := e.adorn(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	rewriting, err := rw.Rewrite(ad)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	if opts.Simplify {
+		rewrite.Simplify(rewriting)
+	}
+	res := &Result{
+		RewrittenProgram: rewriting.Program.String(),
+		Safety:           publicSafety(safety.Analyze(ad)),
+	}
+	res.Stats.Strategy = opts.Strategy
+	res.Stats.Sip = opts.Sip
+	if res.Stats.Sip == "" {
+		res.Stats.Sip = SipFull
+	}
+	res.Stats.RewrittenRules = len(rewriting.Program.Rules)
+	for _, s := range rewriting.Seeds {
+		res.Seeds = append(res.Seeds, s.String())
+	}
+	return res, nil
+}
+
+// Analyze runs the Section 10 safety analysis for a query without evaluating
+// it.
+func (e *Engine) Analyze(querySrc string, opts Options) (*SafetyReport, error) {
+	q, err := parser.ParseQuery(querySrc)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	ad, err := e.adorn(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return publicSafety(safety.Analyze(ad)), nil
+}
+
+func (e *Engine) adorn(q ast.Query, opts Options) (*adorn.Program, error) {
+	strat, err := sipStrategy(opts.Sip)
+	if err != nil {
+		return nil, err
+	}
+	ad, err := adorn.Adorn(e.program, q, strat)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	return ad, nil
+}
+
+func publicSafety(r *safety.Report) *SafetyReport {
+	return &SafetyReport{
+		IsDatalog:                 r.IsDatalog,
+		MagicSafe:                 r.MagicSafe,
+		MagicSafeReason:           r.MagicSafeReason,
+		CountingSafe:              r.CountingSafe,
+		CountingDivergesOnAllData: r.CountingMayDivergeOnAllData,
+	}
+}
+
+func (e *Engine) evalOptions(opts Options) eval.Options {
+	return eval.Options{
+		MaxIterations:  opts.MaxIterations,
+		MaxFacts:       opts.MaxFacts,
+		MaxDerivations: opts.MaxDerivations,
+	}
+}
+
+// evaluateDirect runs the unrewritten program bottom-up and selects the
+// answers.
+func (e *Engine) evaluateDirect(q ast.Query, opts Options) (*Result, error) {
+	var ev eval.Evaluator
+	if opts.Strategy == Naive {
+		ev = eval.Naive(e.evalOptions(opts))
+	} else {
+		ev = eval.SemiNaive(e.evalOptions(opts))
+	}
+	store, stats, err := ev.Evaluate(e.program, e.store)
+	res := &Result{}
+	res.Stats.Strategy = opts.Strategy
+	if stats != nil {
+		res.Stats.Derivations = stats.Derivations
+		res.Stats.Iterations = stats.Iterations
+		res.Stats.JoinProbes = stats.JoinProbes
+	}
+	if store != nil {
+		for key := range e.program.DerivedPredicates() {
+			res.Stats.DerivedFacts += store.FactCount(key)
+		}
+		res.Answers = renderAnswers(eval.Answers(store, q.Atom.PredKey(), q.Atom))
+	}
+	if err != nil {
+		return res, wrapLimit(err)
+	}
+	return res, nil
+}
+
+// evaluateTopDown runs the memoizing top-down reference strategy.
+func (e *Engine) evaluateTopDown(q ast.Query, opts Options) (*Result, error) {
+	ad, err := e.adorn(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	tdOpts := topdown.Options{MaxGoals: opts.MaxFacts, MaxAnswers: opts.MaxFacts, MaxPasses: opts.MaxIterations}
+	tres, err := topdown.Evaluate(ad, e.store, tdOpts)
+	res := &Result{Safety: publicSafety(safety.Analyze(ad))}
+	res.Stats.Strategy = opts.Strategy
+	res.Stats.Sip = opts.Sip
+	if res.Stats.Sip == "" {
+		res.Stats.Sip = SipFull
+	}
+	if tres != nil {
+		res.Answers = renderAnswers(tres.Answers)
+		res.Stats.DerivedFacts = tres.Stats.Answers
+		res.Stats.AuxFacts = tres.Stats.Queries
+		res.Stats.Derivations = tres.Stats.Derivations
+		res.Stats.Iterations = tres.Stats.Passes
+	}
+	if err != nil {
+		return res, wrapLimit(err)
+	}
+	return res, nil
+}
+
+// evaluateRewritten adorns, rewrites, evaluates bottom-up and selects the
+// answers.
+func (e *Engine) evaluateRewritten(q ast.Query, opts Options) (*Result, error) {
+	rw, err := rewriter(opts)
+	if err != nil {
+		return nil, err
+	}
+	ad, err := e.adorn(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	rewriting, err := rw.Rewrite(ad)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	if opts.Simplify {
+		rewrite.Simplify(rewriting)
+	}
+	db := e.store.Clone()
+	for _, seed := range rewriting.Seeds {
+		if _, err := db.AddFact(seed); err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+	}
+	store, stats, evalErr := eval.SemiNaive(e.evalOptions(opts)).Evaluate(rewriting.Program, db)
+
+	res := &Result{
+		RewrittenProgram: rewriting.Program.String(),
+		Safety:           publicSafety(safety.Analyze(ad)),
+	}
+	res.Stats.Strategy = opts.Strategy
+	res.Stats.Sip = opts.Sip
+	if res.Stats.Sip == "" {
+		res.Stats.Sip = SipFull
+	}
+	res.Stats.RewrittenRules = len(rewriting.Program.Rules)
+	for _, s := range rewriting.Seeds {
+		res.Seeds = append(res.Seeds, s.String())
+	}
+	if stats != nil {
+		res.Stats.Derivations = stats.Derivations
+		res.Stats.Iterations = stats.Iterations
+		res.Stats.JoinProbes = stats.JoinProbes
+	}
+	if store != nil {
+		for key := range rewriting.Program.DerivedPredicates() {
+			if rewriting.AuxPredicates[key] {
+				res.Stats.AuxFacts += store.FactCount(key)
+			} else {
+				res.Stats.DerivedFacts += store.FactCount(key)
+			}
+		}
+		res.Answers = renderAnswers(eval.Answers(store, rewriting.AnswerPred, rewriting.AnswerPattern))
+	}
+	if evalErr != nil {
+		return res, wrapLimit(evalErr)
+	}
+	return res, nil
+}
+
+func renderAnswers(tuples []database.Tuple) []Answer {
+	out := make([]Answer, 0, len(tuples))
+	for _, t := range tuples {
+		vals := make([]string, len(t))
+		for i, term := range t {
+			vals[i] = term.String()
+		}
+		out = append(out, Answer{Values: vals})
+	}
+	return out
+}
+
+func wrapLimit(err error) error {
+	if errors.Is(err, eval.ErrLimitExceeded) || errors.Is(err, topdown.ErrLimitExceeded) {
+		return fmt.Errorf("%w: %v", ErrLimitExceeded, err)
+	}
+	return err
+}

@@ -1,0 +1,386 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const ancestorProgram = `
+	anc(X, Y) :- par(X, Y).
+	anc(X, Y) :- par(X, Z), anc(Z, Y).
+`
+
+func chainEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	eng, err := NewEngine(ancestorProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := eng.Assert("par", fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	eng, err := NewEngine(ancestorProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText("par(john, mary). par(mary, sue). par(sue, kim)."); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query("anc(john, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 3 {
+		t.Fatalf("answers = %v, want mary, sue, kim", res.Answers)
+	}
+	set := res.AnswerSet()
+	for _, want := range []string{"(mary)", "(sue)", "(kim)"} {
+		if !set[want] {
+			t.Errorf("missing answer %s in %v", want, set)
+		}
+	}
+	if res.Stats.Strategy != MagicSets || res.Stats.RewrittenRules == 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if !strings.Contains(res.RewrittenProgram, "magic_anc") {
+		t.Errorf("rewritten program missing magic predicate:\n%s", res.RewrittenProgram)
+	}
+	if len(res.Seeds) != 1 || res.Seeds[0] != "magic_anc^bf(john)" {
+		t.Errorf("seeds = %v", res.Seeds)
+	}
+	if res.Safety == nil || !res.Safety.MagicSafe || !res.Safety.IsDatalog {
+		t.Errorf("safety report = %+v", res.Safety)
+	}
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	eng := chainEngine(t, 12)
+	var want map[string]bool
+	for _, strat := range Strategies() {
+		res, err := eng.Query("anc(n4, Y)", Options{Strategy: strat, MaxIterations: 500})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		got := res.AnswerSet()
+		if len(got) != 8 {
+			t.Fatalf("%s: %d answers, want 8", strat, len(got))
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("%s: missing answer %s", strat, k)
+			}
+		}
+	}
+}
+
+func TestPartialSipAndSemijoinOptions(t *testing.T) {
+	eng := chainEngine(t, 10)
+	full, err := eng.Query("anc(n0, Y)", Options{Strategy: MagicSets, Sip: SipFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := eng.Query("anc(n0, Y)", Options{Strategy: MagicSets, Sip: SipPartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Answers) != len(partial.Answers) {
+		t.Errorf("full/partial sip answers differ: %d vs %d", len(full.Answers), len(partial.Answers))
+	}
+	semijoin, err := eng.Query("anc(n0, Y)", Options{Strategy: Counting, Semijoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(semijoin.Answers) != len(full.Answers) {
+		t.Errorf("semijoin counting answers differ: %d vs %d", len(semijoin.Answers), len(full.Answers))
+	}
+	guards, err := eng.Query("anc(n0, Y)", Options{Strategy: MagicSets, KeepAllGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(guards.Answers) != len(full.Answers) {
+		t.Errorf("KeepAllGuards answers differ")
+	}
+}
+
+func TestStatsReflectRestriction(t *testing.T) {
+	eng := chainEngine(t, 30)
+	naive, err := eng.Query("anc(n25, Y)", Options{Strategy: SemiNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	magicRes, err := eng.Query("anc(n25, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if magicRes.Stats.TotalFacts() >= naive.Stats.TotalFacts() {
+		t.Errorf("magic facts %d should be below naive facts %d",
+			magicRes.Stats.TotalFacts(), naive.Stats.TotalFacts())
+	}
+	if magicRes.Stats.AuxFacts == 0 || magicRes.Stats.JoinProbes == 0 {
+		t.Errorf("magic stats incomplete: %+v", magicRes.Stats)
+	}
+}
+
+func TestRewriteWithoutEvaluation(t *testing.T) {
+	eng := chainEngine(t, 3)
+	res, err := eng.Rewrite("anc(n0, Y)", Options{Strategy: SupplementaryMagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Error("Rewrite must not evaluate")
+	}
+	if !strings.Contains(res.RewrittenProgram, "sup_2_2") {
+		t.Errorf("expected supplementary predicates:\n%s", res.RewrittenProgram)
+	}
+	if _, err := eng.Rewrite("anc(n0, Y)", Options{Strategy: Naive}); err == nil {
+		t.Error("Rewrite with a non-rewriting strategy must error")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	eng, err := NewEngine(`
+		a(X, Y) :- p(X, Y).
+		a(X, Y) :- a(X, Z), a(Z, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Analyze("a(x, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IsDatalog || !rep.MagicSafe || !rep.CountingDivergesOnAllData {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestListReverseThroughFacade(t *testing.T) {
+	eng, err := NewEngine(`
+		append(V, [], [V]) :- elem(V).
+		append(V, [W | X], [W | Y]) :- append(V, X, Y).
+		reverse([], []) :- emptylist(X).
+		reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText("elem(a). elem(b). elem(c). emptylist(nil)."); err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{MagicSets, SupplementaryMagicSets, Counting, SupplementaryCounting, TopDown} {
+		res, err := eng.Query("reverse([a, b, c], Y)", Options{Strategy: strat, MaxIterations: 100})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if len(res.Answers) != 1 || res.Answers[0].Values[0] != "[c, b, a]" {
+			t.Errorf("%s: answers = %v", strat, res.Answers)
+		}
+	}
+	// The unrewritten list program is unsafe for bottom-up evaluation; the
+	// facade must surface the error rather than loop.
+	if _, err := eng.Query("reverse([a, b], Y)", Options{Strategy: SemiNaive, MaxIterations: 20, MaxFacts: 1000}); err == nil {
+		t.Error("expected an error for direct bottom-up evaluation of the list program")
+	}
+}
+
+func TestLimitsSurfaceAsErrLimitExceeded(t *testing.T) {
+	eng, err := NewEngine(ancestorProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cyclic data defeats counting; the limit must surface as
+	// ErrLimitExceeded while the answers of magic remain available.
+	for i := 0; i < 5; i++ {
+		eng.Assert("par", fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", (i+1)%5))
+	}
+	_, err = eng.Query("anc(c0, Y)", Options{Strategy: Counting, MaxIterations: 40})
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("expected ErrLimitExceeded, got %v", err)
+	}
+	res, err := eng.Query("anc(c0, Y)", Options{Strategy: MagicSets})
+	if err != nil || len(res.Answers) != 5 {
+		t.Errorf("magic on cyclic data: %v, %v", res.Answers, err)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	if _, err := NewEngine("anc(X, Y) :- par(X, Y"); err == nil {
+		t.Error("syntax error must be reported")
+	}
+	if _, err := NewEngine("?- p(X)."); err == nil {
+		t.Error("queries in the program text must be rejected")
+	}
+	if _, err := NewEngine("p(X) :- q(X). p(X, Y) :- q(X), q(Y)."); err == nil {
+		t.Error("arity conflicts must be rejected")
+	}
+	eng := chainEngine(t, 2)
+	if err := eng.AssertText("anc(X, Y) :- par(X, Y)."); err == nil {
+		t.Error("AssertText must reject rules")
+	}
+	if err := eng.Assert("par", 3.14); err == nil {
+		t.Error("unsupported argument types must be rejected")
+	}
+	if _, err := eng.Query("anc(X, Y", Options{}); err == nil {
+		t.Error("query syntax error must be reported")
+	}
+	if _, err := eng.Query("anc(n0, Y)", Options{Strategy: "bogus"}); err == nil {
+		t.Error("unknown strategy must be rejected")
+	}
+	if _, err := eng.Query("anc(n0, Y)", Options{Sip: "bogus"}); err == nil {
+		t.Error("unknown sip policy must be rejected")
+	}
+	if _, err := eng.Query("par(n0, Y)", Options{}); err == nil {
+		t.Error("queries on base predicates must be rejected by the rewriting strategies")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	eng := chainEngine(t, 4)
+	if eng.Rules() != 2 {
+		t.Errorf("Rules = %d", eng.Rules())
+	}
+	if eng.FactCount("par") != 4 || eng.FactCount("missing") != 0 {
+		t.Errorf("FactCount wrong")
+	}
+	if !strings.Contains(eng.ProgramText(), "anc(X, Y) :- par(X, Y).") {
+		t.Errorf("ProgramText = %q", eng.ProgramText())
+	}
+	// Facts may also arrive embedded in the program text.
+	eng2, err := NewEngine("anc(X, Y) :- par(X, Y). par(a, b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2.FactCount("par") != 1 {
+		t.Error("facts in the program text must populate the database")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	s, err := ParseStrategy("counting")
+	if err != nil || s != Counting {
+		t.Errorf("ParseStrategy(counting) = %v, %v", s, err)
+	}
+	if _, err := ParseStrategy("nope"); err == nil {
+		t.Error("unknown strategy must be rejected")
+	}
+	if len(Strategies()) != 7 {
+		t.Errorf("Strategies() = %v", Strategies())
+	}
+}
+
+func TestInt64Assert(t *testing.T) {
+	eng, err := NewEngine("bigger(X, Y) :- num(X), num(Y), above(X, Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Assert("num", int64(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Assert("num", 7); err != nil {
+		t.Fatal(err)
+	}
+	if eng.FactCount("num") != 2 {
+		t.Error("integer facts not stored")
+	}
+}
+
+func TestAnswerString(t *testing.T) {
+	a := Answer{Values: []string{"mary", "3"}}
+	if a.String() != "(mary, 3)" {
+		t.Errorf("Answer.String = %s", a.String())
+	}
+	var s Stats
+	s.DerivedFacts, s.AuxFacts = 3, 2
+	if s.TotalFacts() != 5 {
+		t.Error("TotalFacts wrong")
+	}
+}
+
+func TestGreedySipPolicy(t *testing.T) {
+	// The textual body order of lives_in_big_city is hostile to a
+	// left-to-right sip (the recursive literal comes first); the greedy sip
+	// reorders it and still returns the right answers.
+	eng, err := NewEngine(`
+		reach(X, Y) :- edge(X, Y).
+		reach(X, Y) :- edge(X, Z), reach(Z, Y).
+		report(X, Y) :- reach(Z, Y), start(X, Z).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText("edge(h1, h2). edge(h2, h3). start(root, h1)."); err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := eng.Query("report(root, Y)", Options{Strategy: MagicSets, Sip: SipGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltr, err := eng.Query("report(root, Y)", Options{Strategy: MagicSets, Sip: SipFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(greedy.Answers) != 2 || len(ltr.Answers) != 2 {
+		t.Fatalf("answers: greedy %v, ltr %v", greedy.Answers, ltr.Answers)
+	}
+	// The greedy sip restricts reach to the nodes reachable from h1; the
+	// left-to-right sip computes the unrestricted reach relation.
+	if greedy.Stats.DerivedFacts > ltr.Stats.DerivedFacts {
+		t.Errorf("greedy sip should not compute more facts (%d) than left-to-right (%d)",
+			greedy.Stats.DerivedFacts, ltr.Stats.DerivedFacts)
+	}
+}
+
+func TestSimplifyOption(t *testing.T) {
+	// The nonlinear ancestor rewriting contains the tautological rule
+	// magic_a^bf(X) :- magic_a^bf(X); with Simplify it disappears and the
+	// answers are unchanged.
+	eng, err := NewEngine(`
+		a(X, Y) :- p(X, Y).
+		a(X, Y) :- a(X, Z), a(Z, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText("p(x1, x2). p(x2, x3). p(x3, x4)."); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := eng.Rewrite("a(x1, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simplified, err := eng.Rewrite("a(x1, Y)", Options{Strategy: MagicSets, Simplify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simplified.Stats.RewrittenRules >= plain.Stats.RewrittenRules {
+		t.Errorf("simplification should drop a rule: %d vs %d",
+			simplified.Stats.RewrittenRules, plain.Stats.RewrittenRules)
+	}
+	if strings.Contains(simplified.RewrittenProgram, "magic_a^bf(X) :- magic_a^bf(X).") {
+		t.Error("tautological rule survived simplification")
+	}
+	a1, err := eng.Query("a(x1, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := eng.Query("a(x1, Y)", Options{Strategy: MagicSets, Simplify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Answers) != 3 || len(a2.Answers) != 3 {
+		t.Errorf("answers: %v vs %v", a1.Answers, a2.Answers)
+	}
+}

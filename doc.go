@@ -1,0 +1,13 @@
+// Package repro is the root of a from-scratch Go reproduction of Beeri &
+// Ramakrishnan, "On the Power of Magic" (PODS 1987 / JLP 1991): a deductive
+// database engine whose recursive query evaluation is organized as sideways
+// information passing (sips) plus program rewriting (generalized magic sets,
+// supplementary magic sets, counting and supplementary counting, with the
+// semijoin optimization) evaluated bottom-up.
+//
+// The public API lives in package repro/datalog; the command-line tools are
+// cmd/magicsets (rewrite and evaluate a query) and cmd/benchtables
+// (regenerate every experiment documented in EXPERIMENTS.md). The root
+// package itself holds only the repository-level benchmarks in
+// bench_test.go.
+package repro

@@ -1,0 +1,93 @@
+// Bill of materials ("part explosion"): the classic deductive-database
+// workload that motivates restricting recursion to the queried item. The
+// subpart relation is the transitive closure of an assembly relation, and we
+// only ever ask about one product at a time, so the magic-sets rewriting
+// avoids exploding every product in the catalogue.
+//
+// Run with:
+//
+//	go run ./examples/billofmaterials
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/datalog"
+)
+
+func main() {
+	eng, err := datalog.NewEngine(`
+		% direct components and transitive sub-parts
+		subpart(A, P) :- component(A, P).
+		subpart(A, P) :- component(A, Q), subpart(Q, P).
+
+		% parts that need a supplier certificate: leaf parts of the assembly
+		certified_source(A, S) :- subpart(A, P), supplier(P, S).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two product lines; only the bicycle is queried below.
+	err = eng.AssertText(`
+		component(bicycle, frame).
+		component(bicycle, wheel).
+		component(wheel, rim).
+		component(wheel, spoke).
+		component(wheel, hub).
+		component(hub, bearing).
+		component(frame, tube).
+
+		component(car, engine).
+		component(car, chassis).
+		component(car, gearbox).
+		component(engine, piston).
+		component(engine, crankshaft).
+		component(engine, valve).
+		component(crankshaft, counterweight).
+		component(chassis, beam).
+		component(chassis, crossmember).
+		component(gearbox, gear).
+		component(gearbox, shaft).
+		component(gear, tooth).
+
+		supplier(bearing, 'Precision Ltd').
+		supplier(spoke, 'WireWorks').
+		supplier(piston, 'Forge & Co').
+		supplier(tooth, 'Forge & Co').
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Explode the bicycle only.
+	parts, err := eng.Query("subpart(bicycle, P)", datalog.Options{Strategy: datalog.SupplementaryMagicSets})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sub-parts of the bicycle:")
+	for _, a := range parts.Answers {
+		fmt.Printf("  %s\n", a.Values[0])
+	}
+
+	// Which suppliers are involved in the bicycle?
+	suppliers, err := eng.Query("certified_source(bicycle, S)", datalog.Options{Strategy: datalog.MagicSets})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsuppliers involved in the bicycle:")
+	for _, a := range suppliers.Answers {
+		fmt.Printf("  %s\n", a.Values[0])
+	}
+
+	// Show that the restriction is real: the unrewritten bottom-up strategy
+	// also explodes the car and its certificates, the rewritten program only
+	// derives facts about the bicycle (plus its auxiliary magic facts).
+	naive, err := eng.Query("subpart(bicycle, P)", datalog.Options{Strategy: datalog.SemiNaive})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nderived facts — semi-naive over the whole catalogue: %d; supplementary magic, bicycle only: %d (+%d auxiliary)\n",
+		naive.Stats.DerivedFacts, parts.Stats.DerivedFacts, parts.Stats.AuxFacts)
+}

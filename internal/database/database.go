@@ -1,0 +1,391 @@
+// Package database implements the extensional and intensional fact store
+// used by the evaluators: relations of ground tuples with hash indexes on
+// arbitrary subsets of columns.
+//
+// A database D is a finite set of finite relations (Section 1.1 of the
+// paper). Derived relations computed during bottom-up evaluation are stored
+// in the same structure, so a Store holds both the EDB and, after
+// evaluation, the IDB.
+package database
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Tuple is a ground tuple of a relation.
+type Tuple []ast.Term
+
+// Key returns a canonical encoding of the tuple usable as a map key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, term := range t {
+		b.WriteString(ast.Key(term))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// String renders the tuple as (a, b, c).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, term := range t {
+		parts[i] = term.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Equal reports whether two tuples are identical.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !ast.Equal(t[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a set of ground tuples of fixed arity with optional hash
+// indexes on subsets of columns. Tuples are kept in insertion order; adding
+// a duplicate tuple is a no-op.
+type Relation struct {
+	// Name is the predicate key this relation stores (e.g. "anc", "sg^bf",
+	// "magic_sg^bf").
+	Name string
+	// Arity is the width of every tuple in the relation.
+	Arity int
+
+	tuples []Tuple
+	seen   map[string]bool
+	// indexes maps an index signature (sorted column positions) to a hash
+	// index: projection key -> tuple positions.
+	indexes map[string]map[string][]int
+}
+
+// NewRelation creates an empty relation with the given predicate key and
+// arity.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{
+		Name:    name,
+		Arity:   arity,
+		seen:    make(map[string]bool),
+		indexes: make(map[string]map[string][]int),
+	}
+}
+
+// Len returns the number of tuples in the relation.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the underlying tuple slice in insertion order. Callers must
+// not modify the returned slice or its tuples.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Contains reports whether the relation already holds the tuple.
+func (r *Relation) Contains(t Tuple) bool { return r.seen[t.Key()] }
+
+// Insert adds a tuple to the relation. It returns true if the tuple is new,
+// false if it was already present. Inserting a tuple of the wrong arity or a
+// non-ground tuple returns an error.
+func (r *Relation) Insert(t Tuple) (bool, error) {
+	if len(t) != r.Arity {
+		return false, fmt.Errorf("relation %s: inserting tuple of arity %d into relation of arity %d", r.Name, len(t), r.Arity)
+	}
+	for _, term := range t {
+		if !ast.IsGround(term) {
+			return false, fmt.Errorf("relation %s: tuple %s is not ground", r.Name, t)
+		}
+	}
+	key := t.Key()
+	if r.seen[key] {
+		return false, nil
+	}
+	r.seen[key] = true
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	// Maintain existing indexes incrementally.
+	for sig, idx := range r.indexes {
+		cols := decodeSignature(sig)
+		idx[projectionKey(t, cols)] = append(idx[projectionKey(t, cols)], pos)
+	}
+	return true, nil
+}
+
+// MustInsert is Insert that panics on error; for use with generated data.
+func (r *Relation) MustInsert(t Tuple) bool {
+	ok, err := r.Insert(t)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// signature encodes a set of column positions canonically.
+func signature(cols []int) string {
+	sorted := append([]int(nil), cols...)
+	sort.Ints(sorted)
+	parts := make([]string, len(sorted))
+	for i, c := range sorted {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeSignature(sig string) []int {
+	if sig == "" {
+		return nil
+	}
+	parts := strings.Split(sig, ",")
+	cols := make([]int, len(parts))
+	for i, p := range parts {
+		fmt.Sscanf(p, "%d", &cols[i])
+	}
+	return cols
+}
+
+// projectionKey builds the hash key of a tuple restricted to the given
+// columns (which must be sorted).
+func projectionKey(t Tuple, cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		b.WriteString(ast.Key(t[c]))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// ensureIndex builds (or returns) the hash index on the given columns.
+func (r *Relation) ensureIndex(cols []int) map[string][]int {
+	sig := signature(cols)
+	if idx, ok := r.indexes[sig]; ok {
+		return idx
+	}
+	sorted := decodeSignature(sig)
+	idx := make(map[string][]int)
+	for pos, t := range r.tuples {
+		k := projectionKey(t, sorted)
+		idx[k] = append(idx[k], pos)
+	}
+	r.indexes[sig] = idx
+	return idx
+}
+
+// Lookup returns the positions of tuples whose values at the given columns
+// equal the given ground terms, using (and building if needed) a hash index.
+// cols and values must have equal length; with no columns it returns all
+// tuple positions.
+func (r *Relation) Lookup(cols []int, values []ast.Term) []int {
+	if len(cols) != len(values) {
+		panic("database: Lookup cols/values length mismatch")
+	}
+	if len(cols) == 0 {
+		out := make([]int, len(r.tuples))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Sort cols and values together for the canonical signature.
+	type cv struct {
+		c int
+		v ast.Term
+	}
+	pairs := make([]cv, len(cols))
+	for i := range cols {
+		pairs[i] = cv{cols[i], values[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].c < pairs[j].c })
+	sortedCols := make([]int, len(pairs))
+	probe := make(Tuple, r.Arity)
+	for i, p := range pairs {
+		sortedCols[i] = p.c
+		probe[p.c] = p.v
+	}
+	idx := r.ensureIndex(sortedCols)
+	return idx[projectionKey(probe, sortedCols)]
+}
+
+// Tuple returns the tuple at the given position.
+func (r *Relation) Tuple(pos int) Tuple { return r.tuples[pos] }
+
+// Clone returns a deep copy of the relation contents (indexes are not
+// copied; they are rebuilt lazily on the copy).
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name, r.Arity)
+	c.tuples = append([]Tuple(nil), r.tuples...)
+	for k := range r.seen {
+		c.seen[k] = true
+	}
+	return c
+}
+
+// Sorted returns the tuples sorted by the total term order, for deterministic
+// display and golden tests.
+func (r *Relation) Sorted() []Tuple {
+	out := append([]Tuple(nil), r.tuples...)
+	sort.Slice(out, func(i, j int) bool { return compareTuples(out[i], out[j]) < 0 })
+	return out
+}
+
+func compareTuples(a, b Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := ast.CompareTerms(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+// Store is a collection of relations keyed by predicate key. It serves both
+// as the extensional database (base facts) and, during and after bottom-up
+// evaluation, as the store of derived facts.
+type Store struct {
+	relations map[string]*Relation
+	order     []string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{relations: make(map[string]*Relation)}
+}
+
+// Relation returns the relation with the given predicate key, creating it
+// with the given arity if absent. If it exists with a different arity an
+// error is returned.
+func (s *Store) Relation(name string, arity int) (*Relation, error) {
+	if r, ok := s.relations[name]; ok {
+		if r.Arity != arity {
+			return nil, fmt.Errorf("relation %s exists with arity %d, requested %d", name, r.Arity, arity)
+		}
+		return r, nil
+	}
+	r := NewRelation(name, arity)
+	s.relations[name] = r
+	s.order = append(s.order, name)
+	return r, nil
+}
+
+// Existing returns the relation with the given predicate key, or nil if the
+// store has no such relation.
+func (s *Store) Existing(name string) *Relation {
+	return s.relations[name]
+}
+
+// AddFact inserts a ground atom into the store. It returns true if the fact
+// is new.
+func (s *Store) AddFact(a ast.Atom) (bool, error) {
+	if !ast.IsGroundAtom(a) {
+		return false, fmt.Errorf("fact %s is not ground", a)
+	}
+	rel, err := s.Relation(a.PredKey(), len(a.Args))
+	if err != nil {
+		return false, err
+	}
+	return rel.Insert(Tuple(a.Args))
+}
+
+// MustAddFact is AddFact that panics on error.
+func (s *Store) MustAddFact(a ast.Atom) bool {
+	ok, err := s.AddFact(a)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// AddFacts inserts each ground atom, stopping at the first error.
+func (s *Store) AddFacts(atoms []ast.Atom) error {
+	for _, a := range atoms {
+		if _, err := s.AddFact(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Names returns the predicate keys of all relations in insertion order.
+func (s *Store) Names() []string { return append([]string(nil), s.order...) }
+
+// TotalFacts returns the total number of tuples across all relations.
+func (s *Store) TotalFacts() int {
+	n := 0
+	for _, r := range s.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// FactCount returns the number of tuples in the named relation (0 if the
+// relation does not exist).
+func (s *Store) FactCount(name string) int {
+	if r, ok := s.relations[name]; ok {
+		return r.Len()
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the store. The evaluators clone the input
+// database so the caller's store is never mutated by evaluation.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for _, name := range s.order {
+		c.relations[name] = s.relations[name].Clone()
+		c.order = append(c.order, name)
+	}
+	return c
+}
+
+// Atoms returns all tuples of the named relation as ground atoms, in
+// insertion order.
+func (s *Store) Atoms(name string) []ast.Atom {
+	r, ok := s.relations[name]
+	if !ok {
+		return nil
+	}
+	out := make([]ast.Atom, 0, r.Len())
+	for _, t := range r.Tuples() {
+		out = append(out, ast.Atom{Pred: baseName(name), Adorn: adornOf(name), Args: append([]ast.Term(nil), t...)})
+	}
+	return out
+}
+
+// baseName splits a predicate key "p^bf" into its name part.
+func baseName(key string) string {
+	if i := strings.IndexByte(key, '^'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// adornOf splits a predicate key "p^bf" into its adornment part.
+func adornOf(key string) ast.Adornment {
+	if i := strings.IndexByte(key, '^'); i >= 0 {
+		return ast.Adornment(key[i+1:])
+	}
+	return ""
+}
+
+// String renders the store contents, one relation per block, sorted for
+// stable output.
+func (s *Store) String() string {
+	var b strings.Builder
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		r := s.relations[name]
+		fmt.Fprintf(&b, "%s/%d (%d tuples)\n", name, r.Arity, r.Len())
+		for _, t := range r.Sorted() {
+			fmt.Fprintf(&b, "  %s%s\n", name, t)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,398 @@
+// Package eval implements bottom-up (fixpoint) evaluation of Horn-clause
+// programs over a database: the naive strategy and the semi-naive strategy.
+//
+// Bottom-up evaluation is the control strategy the paper's rewritings target
+// (Sections 4-8): the rewritten program is evaluated by plain fixpoint
+// iteration, and the sideways information passing chosen at rewrite time is
+// what restricts the facts computed.
+//
+// The evaluators understand the interpreted arithmetic functors "+" and "*"
+// in rule heads and bodies, which the counting rewritings use for their
+// index fields; an arithmetic argument must be fully bound by the time it is
+// needed (the generated counting rules guarantee this by placing the cnt/
+// supcnt literal first).
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/database"
+)
+
+// ErrLimitExceeded is returned when evaluation exceeds the configured
+// iteration or fact limit before reaching a fixpoint. The partially computed
+// store and statistics are still returned; callers use this to observe the
+// divergence of the counting methods on cyclic data (Theorem 10.3) without
+// hanging.
+var ErrLimitExceeded = errors.New("eval: limit exceeded before reaching a fixpoint")
+
+// ErrNonGroundFact is returned when a rule derives a non-ground head, i.e.
+// the program is unsafe for bottom-up evaluation (for example the raw list
+// append program before magic rewriting).
+var ErrNonGroundFact = errors.New("eval: rule derived a non-ground fact (unsafe program)")
+
+// Options configure an evaluator.
+type Options struct {
+	// MaxIterations bounds the number of fixpoint iterations (0 = unlimited).
+	MaxIterations int
+	// MaxFacts bounds the total number of derived facts (0 = unlimited).
+	// Evaluation stops with ErrLimitExceeded when the bound is hit.
+	MaxFacts int
+	// MaxDerivations bounds the total number of rule firings, successful or
+	// duplicate (0 = unlimited).
+	MaxDerivations int64
+}
+
+// Stats records the work done by an evaluation. The fact and derivation
+// counters are the quantities the paper's optimality discussion (Section 9)
+// and the performance study it cites ([5]) reason about.
+type Stats struct {
+	// Strategy is the name of the evaluator that produced the stats.
+	Strategy string
+	// Iterations is the number of fixpoint iterations performed.
+	Iterations int
+	// Derivations is the number of successful rule instantiations, including
+	// ones that re-derive an already known fact.
+	Derivations int64
+	// NewFacts is the number of distinct derived facts added to the store.
+	NewFacts int
+	// JoinProbes counts tuple match attempts during body evaluation; a rough
+	// proxy for join work.
+	JoinProbes int64
+	// RuleFirings counts successful instantiations per rule index.
+	RuleFirings map[int]int64
+	// FactsByPredicate counts the distinct derived facts per predicate key.
+	FactsByPredicate map[string]int
+}
+
+// addFiring records a successful rule instantiation.
+func (s *Stats) addFiring(rule int) {
+	if s.RuleFirings == nil {
+		s.RuleFirings = make(map[int]int64)
+	}
+	s.RuleFirings[rule]++
+	s.Derivations++
+}
+
+// String renders a short human-readable summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf("%s: %d iterations, %d derivations, %d new facts, %d join probes",
+		s.Strategy, s.Iterations, s.Derivations, s.NewFacts, s.JoinProbes)
+}
+
+// Evaluator computes the fixpoint of a program over a database.
+type Evaluator interface {
+	// Evaluate runs the program to fixpoint over a copy of the database and
+	// returns the resulting store (base facts plus all derived facts) and
+	// evaluation statistics. The input store is not modified.
+	Evaluate(p *ast.Program, edb *database.Store) (*database.Store, *Stats, error)
+	// Name identifies the evaluator.
+	Name() string
+}
+
+// Naive returns the naive bottom-up evaluator: every iteration re-evaluates
+// every rule against the full store until no new facts appear.
+func Naive(opts Options) Evaluator { return &naiveEvaluator{opts: opts} }
+
+// SemiNaive returns the semi-naive bottom-up evaluator: after the first
+// iteration, a rule is re-evaluated only with at least one body occurrence
+// restricted to the facts newly derived in the previous iteration.
+func SemiNaive(opts Options) Evaluator { return &semiNaiveEvaluator{opts: opts} }
+
+type naiveEvaluator struct{ opts Options }
+
+func (e *naiveEvaluator) Name() string { return "naive" }
+
+type semiNaiveEvaluator struct{ opts Options }
+
+func (e *semiNaiveEvaluator) Name() string { return "semi-naive" }
+
+// evalContext carries the shared machinery of both evaluators.
+type evalContext struct {
+	program *ast.Program
+	store   *database.Store
+	derived map[string]bool
+	arities map[string]int
+	opts    Options
+	stats   *Stats
+}
+
+func newContext(p *ast.Program, edb *database.Store, opts Options, name string) (*evalContext, error) {
+	arities, err := p.Arities()
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	ctx := &evalContext{
+		program: p,
+		store:   edb.Clone(),
+		derived: p.DerivedPredicates(),
+		arities: arities,
+		opts:    opts,
+		stats: &Stats{
+			Strategy:         name,
+			RuleFirings:      make(map[int]int64),
+			FactsByPredicate: make(map[string]int),
+		},
+	}
+	// Pre-create relations for every derived predicate so lookups during
+	// body matching never fail on missing relations.
+	for key := range ctx.derived {
+		if _, err := ctx.store.Relation(key, arities[key]); err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+	}
+	return ctx, nil
+}
+
+// matchLiteral enumerates the substitutions extending s that satisfy the
+// body literal against the given relation, invoking yield for each. The
+// relation may be nil (no matches). It returns an error only for unresolved
+// arithmetic arguments.
+func (ctx *evalContext) matchLiteral(lit ast.Atom, rel *database.Relation, s ast.Subst, yield func(ast.Subst) error) error {
+	if rel == nil {
+		return nil
+	}
+	// Instantiate the literal under the current substitution and normalize
+	// arithmetic.
+	inst := s.ApplyAtom(lit)
+	cols := []int{}
+	vals := []ast.Term{}
+	for i, arg := range inst.Args {
+		arg = ast.EvalArith(arg)
+		inst.Args[i] = arg
+		if ast.IsGround(arg) {
+			if ast.ContainsArith(arg) {
+				return fmt.Errorf("eval: argument %d of %s contains uninterpreted arithmetic after grounding", i, lit)
+			}
+			cols = append(cols, i)
+			vals = append(vals, arg)
+		}
+	}
+	positions := rel.Lookup(cols, vals)
+	for _, pos := range positions {
+		tuple := rel.Tuple(pos)
+		ctx.stats.JoinProbes++
+		s2 := s.Clone()
+		if ast.MatchAtom(inst, tuple, s2) {
+			if err := yield(s2); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ruleEval evaluates one rule with the body literal at deltaPos (if >= 0)
+// matched against the delta store instead of the full store, and calls emit
+// for every derived ground head fact.
+func (ctx *evalContext) ruleEval(ruleIdx int, r ast.Rule, deltaPos int, delta *database.Store, emit func(ast.Atom) error) error {
+	var walk func(i int, s ast.Subst) error
+	walk = func(i int, s ast.Subst) error {
+		if i == len(r.Body) {
+			head := s.ApplyAtom(r.Head)
+			for j, arg := range head.Args {
+				head.Args[j] = ast.EvalArith(arg)
+			}
+			if !ast.IsGroundAtom(head) {
+				return fmt.Errorf("%w: rule %d (%s) produced %s", ErrNonGroundFact, ruleIdx, r, head)
+			}
+			ctx.stats.addFiring(ruleIdx)
+			if ctx.opts.MaxDerivations > 0 && ctx.stats.Derivations > ctx.opts.MaxDerivations {
+				return fmt.Errorf("%w: more than %d derivations", ErrLimitExceeded, ctx.opts.MaxDerivations)
+			}
+			return emit(head)
+		}
+		lit := r.Body[i]
+		var rel *database.Relation
+		if i == deltaPos {
+			rel = delta.Existing(lit.PredKey())
+		} else {
+			rel = ctx.store.Existing(lit.PredKey())
+		}
+		return ctx.matchLiteral(lit, rel, s, func(s2 ast.Subst) error {
+			return walk(i+1, s2)
+		})
+	}
+	return walk(0, ast.NewSubst())
+}
+
+// insertDerived adds a derived fact to the target store, updating stats, and
+// reports whether it was new in the main store.
+func (ctx *evalContext) insertFact(target *database.Store, head ast.Atom) (bool, error) {
+	rel, err := target.Relation(head.PredKey(), len(head.Args))
+	if err != nil {
+		return false, fmt.Errorf("eval: %w", err)
+	}
+	added, err := rel.Insert(database.Tuple(head.Args))
+	if err != nil {
+		return false, fmt.Errorf("eval: %w", err)
+	}
+	return added, nil
+}
+
+func (ctx *evalContext) checkFactLimit() error {
+	if ctx.opts.MaxFacts > 0 && ctx.stats.NewFacts > ctx.opts.MaxFacts {
+		return fmt.Errorf("%w: more than %d facts", ErrLimitExceeded, ctx.opts.MaxFacts)
+	}
+	return nil
+}
+
+// finish fills derived-fact counts and returns the final result.
+func (ctx *evalContext) finish(err error) (*database.Store, *Stats, error) {
+	for key := range ctx.derived {
+		ctx.stats.FactsByPredicate[key] = ctx.store.FactCount(key)
+	}
+	return ctx.store, ctx.stats, err
+}
+
+// Evaluate implements Evaluator for the naive strategy.
+func (e *naiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*database.Store, *Stats, error) {
+	ctx, err := newContext(p, edb, e.opts, e.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+	for {
+		ctx.stats.Iterations++
+		if e.opts.MaxIterations > 0 && ctx.stats.Iterations > e.opts.MaxIterations {
+			return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, e.opts.MaxIterations))
+		}
+		changed := false
+		for i, r := range p.Rules {
+			err := ctx.ruleEval(i, r, -1, nil, func(head ast.Atom) error {
+				added, err := ctx.insertFact(ctx.store, head)
+				if err != nil {
+					return err
+				}
+				if added {
+					changed = true
+					ctx.stats.NewFacts++
+					ctx.stats.FactsByPredicate[head.PredKey()]++
+				}
+				return ctx.checkFactLimit()
+			})
+			if err != nil {
+				return ctx.finish(err)
+			}
+		}
+		if !changed {
+			return ctx.finish(nil)
+		}
+	}
+}
+
+// Evaluate implements Evaluator for the semi-naive strategy.
+func (e *semiNaiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*database.Store, *Stats, error) {
+	ctx, err := newContext(p, edb, e.opts, e.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// delta holds the facts discovered in the previous iteration, per
+	// derived predicate.
+	delta := database.NewStore()
+
+	// First iteration: evaluate every rule against the full store (which at
+	// this point holds the base facts and any seeds).
+	ctx.stats.Iterations = 1
+	for i, r := range p.Rules {
+		err := ctx.ruleEval(i, r, -1, nil, func(head ast.Atom) error {
+			added, err := ctx.insertFact(ctx.store, head)
+			if err != nil {
+				return err
+			}
+			if added {
+				ctx.stats.NewFacts++
+				if _, err := ctx.insertFact(delta, head); err != nil {
+					return err
+				}
+			}
+			return ctx.checkFactLimit()
+		})
+		if err != nil {
+			return ctx.finish(err)
+		}
+	}
+
+	for delta.TotalFacts() > 0 {
+		ctx.stats.Iterations++
+		if e.opts.MaxIterations > 0 && ctx.stats.Iterations > e.opts.MaxIterations {
+			return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, e.opts.MaxIterations))
+		}
+		next := database.NewStore()
+		for i, r := range p.Rules {
+			// Re-evaluate the rule once per body occurrence of a derived
+			// predicate whose delta is non-empty, with that occurrence
+			// restricted to the delta.
+			for pos, lit := range r.Body {
+				if !ctx.derived[lit.PredKey()] {
+					continue
+				}
+				if delta.FactCount(lit.PredKey()) == 0 {
+					continue
+				}
+				err := ctx.ruleEval(i, r, pos, delta, func(head ast.Atom) error {
+					added, err := ctx.insertFact(ctx.store, head)
+					if err != nil {
+						return err
+					}
+					if added {
+						ctx.stats.NewFacts++
+						if _, err := ctx.insertFact(next, head); err != nil {
+							return err
+						}
+					}
+					return ctx.checkFactLimit()
+				})
+				if err != nil {
+					return ctx.finish(err)
+				}
+			}
+		}
+		delta = next
+	}
+	return ctx.finish(nil)
+}
+
+// Answers selects from the store the tuples of the given relation that match
+// the query atom (whose ground arguments act as selections) and returns them
+// projected onto the query's free positions, in insertion order. It is used
+// to read query answers out of an evaluated store.
+func Answers(store *database.Store, predKey string, query ast.Atom) []database.Tuple {
+	rel := store.Existing(predKey)
+	if rel == nil {
+		return nil
+	}
+	var cols []int
+	var vals []ast.Term
+	var freePos []int
+	for i, arg := range query.Args {
+		if ast.IsGround(arg) {
+			cols = append(cols, i)
+			vals = append(vals, arg)
+		} else {
+			freePos = append(freePos, i)
+		}
+	}
+	var out []database.Tuple
+	for _, pos := range rel.Lookup(cols, vals) {
+		t := rel.Tuple(pos)
+		proj := make(database.Tuple, len(freePos))
+		for j, p := range freePos {
+			proj[j] = t[p]
+		}
+		out = append(out, proj)
+	}
+	return out
+}
+
+// AnswerSet returns the answers as a set of canonical tuple keys, for
+// order-independent comparison between strategies in tests and experiments.
+func AnswerSet(store *database.Store, predKey string, query ast.Atom) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range Answers(store, predKey, query) {
+		set[t.Key()] = true
+	}
+	return set
+}

@@ -1,0 +1,257 @@
+// Package parser provides a lexer and recursive-descent parser for the
+// Datalog-with-function-symbols surface syntax used by the command-line
+// tools, the examples and the tests.
+//
+// The syntax is conventional:
+//
+//	% a comment runs to the end of the line
+//	anc(X, Y) :- par(X, Y).
+//	anc(X, Y) :- par(X, Z), anc(Z, Y).
+//	par(john, mary).                      % a ground fact
+//	reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y).
+//	?- anc(john, Y).                      % a query
+//
+// Identifiers starting with an upper-case letter or underscore are
+// variables; identifiers starting with a lower-case letter are constants or
+// predicate/function symbols; quoted atoms ('New York') and integers are
+// constants. Lists use the [a, b | T] notation.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind identifies the lexical class of a token.
+type tokenKind int
+
+const (
+	tokEOF      tokenKind = iota
+	tokIdent              // lower-case identifier or quoted atom
+	tokVariable           // upper-case identifier or _
+	tokInt                // integer literal
+	tokLParen             // (
+	tokRParen             // )
+	tokLBracket           // [
+	tokRBracket           // ]
+	tokComma              // ,
+	tokBar                // |
+	tokDot                // .
+	tokImplies            // :-
+	tokQuery              // ?-
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVariable:
+		return "variable"
+	case tokInt:
+		return "integer"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokBar:
+		return "'|'"
+	case tokDot:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokQuery:
+		return "'?-'"
+	}
+	return "unknown token"
+}
+
+// token is a single lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer turns source text into a stream of tokens.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peekAt(1) == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && !(l.peek() == '*' && l.peekAt(1) == '/') {
+				l.advance()
+			}
+			if l.pos < len(l.src) {
+				l.advance()
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case r == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case r == '[':
+		l.advance()
+		return token{kind: tokLBracket, text: "[", line: line, col: col}, nil
+	case r == ']':
+		l.advance()
+		return token{kind: tokRBracket, text: "]", line: line, col: col}, nil
+	case r == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case r == '|':
+		l.advance()
+		return token{kind: tokBar, text: "|", line: line, col: col}, nil
+	case r == '.':
+		l.advance()
+		return token{kind: tokDot, text: ".", line: line, col: col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errf(line, col, "expected ':-', found ':%c'", l.peek())
+		}
+		l.advance()
+		return token{kind: tokImplies, text: ":-", line: line, col: col}, nil
+	case r == '?':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errf(line, col, "expected '?-', found '?%c'", l.peek())
+		}
+		l.advance()
+		return token{kind: tokQuery, text: "?-", line: line, col: col}, nil
+	case r == '\'':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(line, col, "unterminated quoted atom")
+			}
+			c := l.advance()
+			if c == '\'' {
+				break
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				c = l.advance()
+			}
+			b.WriteRune(c)
+		}
+		return token{kind: tokIdent, text: b.String(), line: line, col: col}, nil
+	case r == '-' && unicode.IsDigit(l.peekAt(1)), unicode.IsDigit(r):
+		var b strings.Builder
+		if r == '-' {
+			b.WriteRune(l.advance())
+		}
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		return token{kind: tokInt, text: b.String(), line: line, col: col}, nil
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+				b.WriteRune(l.advance())
+			} else {
+				break
+			}
+		}
+		text := b.String()
+		first := []rune(text)[0]
+		if unicode.IsUpper(first) || first == '_' {
+			return token{kind: tokVariable, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line, col: col}, nil
+	}
+	return token{}, l.errf(line, col, "unexpected character %q", r)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package rewrite
+
+import (
+	"repro/internal/ast"
+)
+
+// Simplify removes obviously redundant rules from a rewritten program:
+//
+//   - tautological rules whose body is exactly their head (for example the
+//     magic_a^bf(X) :- magic_a^bf(X) rule the nonlinear-ancestor rewriting
+//     produces, which the paper notes "can be deleted"), and
+//   - exact duplicate rules (the same rule can be generated from two
+//     different body occurrences).
+//
+// The rewriting is modified in place and also returned for chaining. The
+// transformation never changes the computed relations: a tautological rule
+// can only re-derive an existing fact, and duplicate rules derive what their
+// first copy derives.
+func Simplify(r *Rewriting) *Rewriting {
+	if r == nil || r.Program == nil {
+		return r
+	}
+	seen := make(map[string]bool)
+	var rules []ast.Rule
+	for _, rule := range r.Program.Rules {
+		if isTautology(rule) {
+			continue
+		}
+		key := rule.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rules = append(rules, rule)
+	}
+	r.Program = ast.NewProgram(rules...)
+	return r
+}
+
+// isTautology reports whether the rule's body consists of a single literal
+// identical to its head.
+func isTautology(r ast.Rule) bool {
+	return len(r.Body) == 1 && ast.EqualAtoms(r.Head, r.Body[0])
+}

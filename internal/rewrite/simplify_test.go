@@ -1,0 +1,50 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestSimplifyRemovesTautologiesAndDuplicates(t *testing.T) {
+	taut := ast.NewRule(
+		ast.NewAdornedAtom("magic_a", "bf", ast.V("X")),
+		ast.NewAdornedAtom("magic_a", "bf", ast.V("X")),
+	)
+	real1 := ast.NewRule(
+		ast.NewAdornedAtom("magic_a", "bf", ast.V("Z")),
+		ast.NewAdornedAtom("magic_a", "bf", ast.V("X")),
+		ast.NewAtom("p", ast.V("X"), ast.V("Z")),
+	)
+	r := &Rewriting{Program: ast.NewProgram(taut, real1, real1.Clone())}
+	Simplify(r)
+	if len(r.Program.Rules) != 1 {
+		t.Fatalf("expected a single rule after simplification, got:\n%s", r.Program)
+	}
+	if !strings.Contains(r.Program.Rules[0].String(), "p(X, Z)") {
+		t.Errorf("the real rule should survive: %s", r.Program.Rules[0])
+	}
+}
+
+func TestSimplifyKeepsNonTrivialSelfReferences(t *testing.T) {
+	// A rule whose head predicate appears in the body but with different
+	// arguments is not a tautology and must be kept.
+	rec := ast.NewRule(
+		ast.NewAtom("a", ast.V("X"), ast.V("Y")),
+		ast.NewAtom("a", ast.V("X"), ast.V("Z")),
+		ast.NewAtom("a", ast.V("Z"), ast.V("Y")),
+	)
+	r := &Rewriting{Program: ast.NewProgram(rec)}
+	Simplify(r)
+	if len(r.Program.Rules) != 1 {
+		t.Errorf("recursive rule must be kept:\n%s", r.Program)
+	}
+	// Nil-safety.
+	if Simplify(nil) != nil {
+		t.Error("Simplify(nil) should return nil")
+	}
+	if out := Simplify(&Rewriting{}); out == nil || out.Program != nil {
+		t.Error("Simplify on an empty rewriting should be a no-op")
+	}
+}

@@ -1,0 +1,404 @@
+// Package safety implements the safety analyses of Section 10 of Beeri &
+// Ramakrishnan, "On the Power of Magic": the binding graph of a query, the
+// positive-cycle condition of Theorem 10.1, the Datalog safety guarantee of
+// Theorem 10.2, and the argument-graph cyclicity test of Theorem 10.3 that
+// predicts divergence of the counting strategies regardless of the data.
+package safety
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+)
+
+// negInf is the weight used for binding-graph arcs whose length can be made
+// arbitrarily negative by growing a variable that occurs more often on the
+// callee side than on the caller side.
+const negInf = int64(-1) << 40
+
+// Arc is an edge of the binding graph: from the adorned head predicate of a
+// rule to an adorned derived occurrence in its body.
+type Arc struct {
+	// From and To are adorned predicate keys.
+	From, To string
+	// Rule is the index of the adorned rule inducing the arc; Pos the body
+	// position of the occurrence.
+	Rule, Pos int
+	// MinLength is a lower bound on the arc length of Section 10: the total
+	// length of the bound arguments of From minus the total length of the
+	// bound arguments of To, minimized over all variable lengths >= 1.
+	// Unbounded reports that the difference has no finite lower bound.
+	MinLength int64
+	// Unbounded is true when the arc length can be arbitrarily negative.
+	Unbounded bool
+}
+
+// BindingGraph is the binding graph of a query (Section 10): its nodes are
+// the adorned predicates of the adorned program, its root is the adorned
+// query predicate, and it has an arc for every derived occurrence in the
+// body of every adorned rule.
+type BindingGraph struct {
+	// Root is the adorned query predicate key.
+	Root string
+	// Nodes lists the adorned predicate keys in discovery order.
+	Nodes []string
+	// Arcs lists the arcs.
+	Arcs []Arc
+}
+
+// String renders the binding graph arcs.
+func (g *BindingGraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "binding graph (root %s)\n", g.Root)
+	for _, a := range g.Arcs {
+		length := fmt.Sprintf("%d", a.MinLength)
+		if a.Unbounded {
+			length = "-inf"
+		}
+		fmt.Fprintf(&b, "  %s -[r%d.%d, len>=%s]-> %s\n", a.From, a.Rule, a.Pos, length, a.To)
+	}
+	return b.String()
+}
+
+// BuildBindingGraph constructs the binding graph of an adorned program.
+//
+// For Datalog programs every argument is a constant or a variable of length
+// exactly 1 (the paper's remark after Theorem 10.1 about base relations
+// containing only constants), so arc lengths are computed with every
+// variable length equal to 1 and are never unbounded. For programs with
+// function symbols, a variable in the callee's bound arguments that does not
+// occur in the caller's bound arguments can make the arc length arbitrarily
+// negative, and the arc is marked unbounded.
+func BuildBindingGraph(ad *adorn.Program) *BindingGraph {
+	g := &BindingGraph{Root: ad.QueryPred}
+	datalog := ad.Original.IsDatalog()
+	seen := make(map[string]bool)
+	addNode := func(key string) {
+		if !seen[key] {
+			seen[key] = true
+			g.Nodes = append(g.Nodes, key)
+		}
+	}
+	addNode(ad.QueryPred)
+	for ruleIdx, ar := range ad.Rules {
+		head := ar.Rule.Head
+		addNode(head.PredKey())
+		headLen, _ := boundLength(head)
+		for pos, lit := range ar.Rule.Body {
+			if !ad.OriginalDerived[lit.Pred] {
+				continue
+			}
+			addNode(lit.PredKey())
+			arc := Arc{From: head.PredKey(), To: lit.PredKey(), Rule: ruleIdx, Pos: pos}
+			if datalog {
+				litLen, _ := boundLength(lit)
+				arc.MinLength = headLen - litLen
+			} else {
+				litLen, litUnbounded := boundLengthMax(lit, head)
+				if litUnbounded {
+					arc.Unbounded = true
+					arc.MinLength = negInf
+				} else {
+					arc.MinLength = headLen - litLen
+				}
+			}
+			g.Arcs = append(g.Arcs, arc)
+		}
+	}
+	return g
+}
+
+// boundLength returns a lower bound on the total length of the bound
+// arguments of an adorned atom, assuming every variable has length exactly
+// its minimum 1. The bool result is reserved for future use and is always
+// false (a lower bound always exists).
+func boundLength(a ast.Atom) (int64, bool) {
+	var total int64
+	for i, arg := range a.Args {
+		if !a.Adorn.Bound(i) {
+			continue
+		}
+		c, mult := ast.SymbolicLength(arg)
+		total += int64(c)
+		for _, m := range mult {
+			total += int64(m)
+		}
+	}
+	return total, false
+}
+
+// boundLengthMax returns an upper bound on the total length of the bound
+// arguments of a body occurrence relative to the head: variables that also
+// occur in the head's bound arguments contribute the same (unknown) length
+// to both sides and cancel in the arc-length difference, so they are counted
+// with multiplicity 1 here as well; a variable of the body occurrence that
+// does not occur in the head's bound arguments can be arbitrarily long, so
+// its presence makes the difference unbounded below — unless the lengths
+// still cancel, which we conservatively do not attempt to prove.
+func boundLengthMax(lit, head ast.Atom) (int64, bool) {
+	headVars := make(map[string]int)
+	for i, arg := range head.Args {
+		if !head.Adorn.Bound(i) {
+			continue
+		}
+		_, mult := ast.SymbolicLength(arg)
+		for v, m := range mult {
+			headVars[v] += m
+		}
+	}
+	var total int64
+	unbounded := false
+	litVars := make(map[string]int)
+	for i, arg := range lit.Args {
+		if !lit.Adorn.Bound(i) {
+			continue
+		}
+		c, mult := ast.SymbolicLength(arg)
+		total += int64(c)
+		for v, m := range mult {
+			litVars[v] += m
+		}
+	}
+	for v, m := range litVars {
+		total += int64(m)
+		if m > headVars[v] {
+			// The callee's bound arguments mention v more often than the
+			// caller's; growing v makes the difference arbitrarily negative.
+			unbounded = true
+		}
+	}
+	return total, unbounded
+}
+
+// AllCyclesPositive reports whether every cycle of the binding graph has
+// strictly positive length (the hypothesis of Theorem 10.1). It uses a
+// Floyd–Warshall closure over minimum arc lengths; arcs with unbounded
+// negative length on a cycle make the test fail.
+func (g *BindingGraph) AllCyclesPositive() bool {
+	idx := make(map[string]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		idx[n] = i
+	}
+	n := len(g.Nodes)
+	const inf = int64(1) << 50
+	dist := make([][]int64, n)
+	for i := range dist {
+		dist[i] = make([]int64, n)
+		for j := range dist[i] {
+			dist[i][j] = inf
+		}
+	}
+	for _, a := range g.Arcs {
+		w := a.MinLength
+		i, j := idx[a.From], idx[a.To]
+		if w < dist[i][j] {
+			dist[i][j] = w
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if dist[i][k] == inf || dist[k][j] == inf {
+					continue
+				}
+				if d := dist[i][k] + dist[k][j]; d < dist[i][j] {
+					dist[i][j] = d
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if dist[i][i] != inf && dist[i][i] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ArgumentGraph is the argument graph of Theorem 10.3: its nodes are pairs
+// (adorned predicate, bound argument position) and it has an arc whenever a
+// variable occurs in a bound argument of a rule head and in a bound argument
+// of a derived occurrence in that rule's body.
+type ArgumentGraph struct {
+	// Nodes are encoded as "pred^adorn#position".
+	Nodes []string
+	// Edges maps a node to its successors.
+	Edges map[string][]string
+	// Roots are the nodes of the adorned query predicate.
+	Roots []string
+}
+
+// node encodes an argument-graph node.
+func argNode(predKey string, pos int) string { return fmt.Sprintf("%s#%d", predKey, pos) }
+
+// BuildArgumentGraph constructs the argument graph of an adorned program.
+func BuildArgumentGraph(ad *adorn.Program) *ArgumentGraph {
+	g := &ArgumentGraph{Edges: make(map[string][]string)}
+	seen := make(map[string]bool)
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			g.Nodes = append(g.Nodes, n)
+		}
+	}
+	for i := range ad.Query.Atom.Args {
+		if ad.QueryAdornment.Bound(i) {
+			root := argNode(ad.QueryPred, i)
+			addNode(root)
+			g.Roots = append(g.Roots, root)
+		}
+	}
+	for _, ar := range ad.Rules {
+		head := ar.Rule.Head
+		for hi, harg := range head.Args {
+			if !head.Adorn.Bound(hi) {
+				continue
+			}
+			hvars := ast.VarSet(harg)
+			from := argNode(head.PredKey(), hi)
+			addNode(from)
+			for _, lit := range ar.Rule.Body {
+				if !ad.OriginalDerived[lit.Pred] {
+					continue
+				}
+				for bi, barg := range lit.Args {
+					if !lit.Adorn.Bound(bi) {
+						continue
+					}
+					shared := false
+					for _, v := range ast.Vars(barg, nil) {
+						if hvars[v] {
+							shared = true
+							break
+						}
+					}
+					if shared {
+						to := argNode(lit.PredKey(), bi)
+						addNode(to)
+						g.Edges[from] = append(g.Edges[from], to)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// HasReachableCycle reports whether the argument graph contains a cycle
+// reachable from one of its root nodes.
+func (g *ArgumentGraph) HasReachableCycle() bool {
+	reachable := make(map[string]bool)
+	var mark func(string)
+	mark = func(n string) {
+		if reachable[n] {
+			return
+		}
+		reachable[n] = true
+		for _, m := range g.Edges[n] {
+			mark(m)
+		}
+	}
+	for _, r := range g.Roots {
+		mark(r)
+	}
+	// Cycle detection restricted to reachable nodes (iterative DFS colors).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		for _, m := range g.Edges[n] {
+			if !reachable[m] {
+				continue
+			}
+			switch color[m] {
+			case gray:
+				return true
+			case white:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for n := range reachable {
+		if color[n] == white {
+			if visit(n) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Report is the combined safety assessment for an adorned program.
+type Report struct {
+	// IsDatalog reports whether the program is function-free.
+	IsDatalog bool
+	// BindingGraph is the binding graph of the query.
+	BindingGraph *BindingGraph
+	// ArgumentGraph is the argument graph of the query.
+	ArgumentGraph *ArgumentGraph
+	// MagicSafe reports that the bottom-up evaluation of the magic-rewritten
+	// program is guaranteed to terminate: either the program is Datalog
+	// (Theorem 10.2) or every binding-graph cycle has positive length
+	// (Theorem 10.1).
+	MagicSafe bool
+	// MagicSafeReason explains which theorem established MagicSafe (or why
+	// neither applies).
+	MagicSafeReason string
+	// CountingMayDivergeOnAllData reports that the counting strategies will
+	// not terminate for the query regardless of the data, because the
+	// reachable part of the argument graph is cyclic (Theorem 10.3). Even
+	// when false, the counting strategies may still diverge on cyclic data.
+	CountingMayDivergeOnAllData bool
+	// CountingSafe reports that the counting strategies are guaranteed to
+	// terminate on all databases: every binding-graph cycle has positive
+	// length (Theorem 10.1). Datalog programs do not qualify (their cycles
+	// have length 0 and cyclic data defeats counting).
+	CountingSafe bool
+}
+
+// String renders a one-line summary per conclusion.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "datalog: %v\n", r.IsDatalog)
+	fmt.Fprintf(&b, "magic safe: %v (%s)\n", r.MagicSafe, r.MagicSafeReason)
+	fmt.Fprintf(&b, "counting safe on all data: %v\n", r.CountingSafe)
+	fmt.Fprintf(&b, "counting diverges regardless of data: %v\n", r.CountingMayDivergeOnAllData)
+	return b.String()
+}
+
+// Analyze runs all safety analyses on an adorned program.
+func Analyze(ad *adorn.Program) *Report {
+	r := &Report{
+		IsDatalog:     ad.Original.IsDatalog(),
+		BindingGraph:  BuildBindingGraph(ad),
+		ArgumentGraph: BuildArgumentGraph(ad),
+	}
+	positive := r.BindingGraph.AllCyclesPositive()
+	switch {
+	case r.IsDatalog:
+		r.MagicSafe = true
+		r.MagicSafeReason = "Datalog program (Theorem 10.2)"
+	case positive:
+		r.MagicSafe = true
+		r.MagicSafeReason = "every binding-graph cycle has positive length (Theorem 10.1)"
+	default:
+		r.MagicSafe = false
+		r.MagicSafeReason = "neither Theorem 10.1 nor Theorem 10.2 applies"
+	}
+	r.CountingSafe = positive && !r.IsDatalog
+	if r.IsDatalog {
+		r.CountingMayDivergeOnAllData = r.ArgumentGraph.HasReachableCycle()
+	}
+	return r
+}

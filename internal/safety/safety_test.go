@@ -1,0 +1,182 @@
+package safety
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adorn"
+	"repro/internal/parser"
+	"repro/internal/sip"
+)
+
+func adorned(t *testing.T, src, query string) *adorn.Program {
+	t.Helper()
+	ad, err := adorn.Adorn(parser.MustParseProgram(src), parser.MustParseQuery(query), sip.FullLeftToRight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ad
+}
+
+const (
+	ancestorSrc = `
+		a(X, Y) :- p(X, Y).
+		a(X, Y) :- p(X, Z), a(Z, Y).
+	`
+	nonlinearAncestorSrc = `
+		a(X, Y) :- p(X, Y).
+		a(X, Y) :- a(X, Z), a(Z, Y).
+	`
+	nestedSameGenSrc = `
+		p(X, Y) :- b1(X, Y).
+		p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).
+	`
+	listReverseSrc = `
+		append(V, [], [V]) :- elem(V).
+		append(V, [W | X], [W | Y]) :- append(V, X, Y).
+		reverse([], []) :- emptylist(X).
+		reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).
+	`
+	// A program with function symbols whose binding-graph cycle has length
+	// zero: the bound argument is passed along unchanged, so Theorem 10.1
+	// does not apply and neither does Theorem 10.2.
+	unsafeLoopSrc = `
+		loop(X, Y) :- edge(X, Y).
+		loop(X, Y) :- loop(X, Z), edge(Z, Y).
+		wrap(X, Y) :- loop(f(X), Y).
+	`
+)
+
+func TestBindingGraphAncestor(t *testing.T) {
+	ad := adorned(t, ancestorSrc, "a(john, Y)")
+	g := BuildBindingGraph(ad)
+	if g.Root != "a^bf" || len(g.Nodes) != 1 {
+		t.Errorf("root=%s nodes=%v", g.Root, g.Nodes)
+	}
+	if len(g.Arcs) != 1 {
+		t.Fatalf("arcs = %v", g.Arcs)
+	}
+	a := g.Arcs[0]
+	if a.From != "a^bf" || a.To != "a^bf" || a.MinLength != 0 || a.Unbounded {
+		t.Errorf("arc = %+v", a)
+	}
+	// A zero-length cycle: Theorem 10.1 does not apply...
+	if g.AllCyclesPositive() {
+		t.Error("the Datalog ancestor cycle has length 0; AllCyclesPositive must be false")
+	}
+	// ...but Theorem 10.2 does.
+	rep := Analyze(ad)
+	if !rep.IsDatalog || !rep.MagicSafe || !strings.Contains(rep.MagicSafeReason, "10.2") {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.CountingSafe {
+		t.Error("counting is not safe for Datalog programs in general (cyclic data)")
+	}
+	if rep.CountingMayDivergeOnAllData {
+		t.Error("linear ancestor's argument graph is acyclic; counting terminates on acyclic data")
+	}
+}
+
+func TestBindingGraphListReverse(t *testing.T) {
+	ad := adorned(t, listReverseSrc, "reverse([a, b, c], Y)")
+	g := BuildBindingGraph(ad)
+	if g.Root != "reverse^bf" {
+		t.Errorf("root = %s", g.Root)
+	}
+	// Both recursive cycles shrink the bound list by one cons cell, so every
+	// cycle has positive length and both magic and counting are safe
+	// (Theorem 10.1).
+	if !g.AllCyclesPositive() {
+		t.Errorf("list reverse cycles must be positive:\n%s", g)
+	}
+	rep := Analyze(ad)
+	if rep.IsDatalog {
+		t.Error("list reverse is not Datalog")
+	}
+	if !rep.MagicSafe || !strings.Contains(rep.MagicSafeReason, "10.1") {
+		t.Errorf("magic safety: %+v", rep)
+	}
+	if !rep.CountingSafe {
+		t.Error("counting is safe for list reverse (positive cycles)")
+	}
+	if rep.String() == "" || g.String() == "" {
+		t.Error("renderings must not be empty")
+	}
+}
+
+func TestArgumentGraphNonlinearAncestor(t *testing.T) {
+	ad := adorned(t, nonlinearAncestorSrc, "a(john, Y)")
+	g := BuildArgumentGraph(ad)
+	if len(g.Roots) != 1 || g.Roots[0] != "a^bf#0" {
+		t.Errorf("roots = %v", g.Roots)
+	}
+	if !g.HasReachableCycle() {
+		t.Error("the nonlinear ancestor argument graph has a reachable self-loop")
+	}
+	rep := Analyze(ad)
+	if !rep.CountingMayDivergeOnAllData {
+		t.Error("Theorem 10.3: counting diverges for nonlinear ancestor regardless of the data")
+	}
+	if !rep.MagicSafe {
+		t.Error("magic is still safe (Datalog)")
+	}
+}
+
+func TestArgumentGraphLinearProgramsAcyclic(t *testing.T) {
+	for _, tc := range []struct{ src, query string }{
+		{ancestorSrc, "a(john, Y)"},
+		{nestedSameGenSrc, "p(john, Y)"},
+	} {
+		ad := adorned(t, tc.src, tc.query)
+		g := BuildArgumentGraph(ad)
+		if g.HasReachableCycle() {
+			t.Errorf("argument graph for %s should be acyclic", tc.query)
+		}
+	}
+}
+
+func TestUnsafeNonDatalogProgram(t *testing.T) {
+	ad := adorned(t, unsafeLoopSrc, "wrap(a, Y)")
+	rep := Analyze(ad)
+	if rep.IsDatalog {
+		t.Error("program uses a function symbol")
+	}
+	// The loop predicate passes its bound argument around a cycle unchanged:
+	// cycle length 0, not Datalog, so no safety guarantee.
+	if rep.MagicSafe {
+		t.Errorf("no safety theorem applies to this program: %+v", rep)
+	}
+}
+
+func TestNestedSameGenerationSafety(t *testing.T) {
+	ad := adorned(t, nestedSameGenSrc, "p(john, Y)")
+	rep := Analyze(ad)
+	if !rep.IsDatalog || !rep.MagicSafe {
+		t.Errorf("nested same generation is Datalog and magic-safe: %+v", rep)
+	}
+	g := rep.BindingGraph
+	// Nodes: p^bf and sg^bf; arcs p->sg, p->p, sg->sg.
+	if len(g.Nodes) != 2 || len(g.Arcs) != 3 {
+		t.Errorf("binding graph shape wrong:\n%s", g)
+	}
+}
+
+func TestBoundLengthHelpers(t *testing.T) {
+	a, err := parser.ParseAtom("reverse([V | X], Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Adorn = "bf"
+	n, unbounded := boundLength(a)
+	if n != 3 || unbounded {
+		t.Errorf("boundLength([V|X]) = %d (unbounded=%v), want 3", n, unbounded)
+	}
+	body, _ := parser.ParseAtom("append(V, Z, Y)")
+	body.Adorn = "bbf"
+	_, unb := boundLengthMax(body, a)
+	if !unb {
+		t.Error("Z does not occur in the head's bound arguments; the difference must be unbounded")
+	}
+}

@@ -1,0 +1,105 @@
+package sip
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestGreedyReordersBody(t *testing.T) {
+	// With X bound in the head, the textual order would evaluate big(Z, Y)
+	// with nothing bound; the greedy strategy picks link(X, Z) first and
+	// then passes Z to the derived literal big.
+	prog := parser.MustParseProgram(`
+		big(X, Y) :- edge(X, Y).
+		big(X, Y) :- edge(X, Z), big(Z, Y).
+		r(X, Y) :- big(Z, Y), link(X, Z).
+	`)
+	rule := prog.Rules[2]
+	derived := prog.DerivedPredicates()
+
+	greedy, err := GreedyBoundFirst().SipFor(rule, "bf", derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(greedy.Arcs) != 1 {
+		t.Fatalf("arcs = %v", greedy.Arcs)
+	}
+	arc := greedy.Arcs[0]
+	if arc.Head != 0 {
+		t.Fatalf("arc should enter the big occurrence (position 0), got %d", arc.Head)
+	}
+	if !arc.Label["Z"] || len(arc.Label) != 1 {
+		t.Errorf("label = %v, want {Z}", arc.LabelVars())
+	}
+	if !arc.HasTailMember(1) {
+		t.Errorf("tail %v should contain link (position 1)", arc.Tail)
+	}
+	order, err := greedy.TotalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 1 || order[1] != 0 {
+		t.Errorf("total order = %v, want link before big", order)
+	}
+
+	// The full left-to-right sip cannot pass anything into big here.
+	ltr, err := FullLeftToRight().SipFor(rule, "bf", derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ltr.ArcsInto(0)) != 0 {
+		t.Errorf("left-to-right sip should have no arc into big, got %v", ltr.Arcs)
+	}
+}
+
+func TestGreedyMatchesLeftToRightWhenTextualOrderIsGood(t *testing.T) {
+	// On the same-generation rule the textual order is already
+	// bound-first, so the greedy sip coincides with the full sip.
+	prog := parser.MustParseProgram(`
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).
+	`)
+	rule := prog.Rules[1]
+	derived := prog.DerivedPredicates()
+	greedy, err := GreedyBoundFirst().SipFor(rule, "bf", derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := FullLeftToRight().SipFor(rule, "bf", derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Contains(greedy, full) || !Contains(full, greedy) {
+		t.Errorf("greedy and full sips should coincide here:\n%s\nvs\n%s", greedy, full)
+	}
+	if GreedyBoundFirst().Name() != "greedy-bound-first" {
+		t.Error("name wrong")
+	}
+}
+
+func TestGreedyAdornmentMismatch(t *testing.T) {
+	prog := parser.MustParseProgram(`p(X, Y) :- e(X, Y).`)
+	if _, err := GreedyBoundFirst().SipFor(prog.Rules[0], "b", prog.DerivedPredicates()); err == nil {
+		t.Error("adornment length mismatch must be rejected")
+	}
+}
+
+func TestGreedyFreeHead(t *testing.T) {
+	// With no bound head arguments the greedy strategy still produces a
+	// valid sip (base literals feed the derived one).
+	prog := parser.MustParseProgram(`
+		q(X, Y) :- e(X, Y).
+		r(X, Y) :- e(X, Z), q(Z, Y).
+	`)
+	rule := prog.Rules[1]
+	g, err := GreedyBoundFirst().SipFor(rule, "ff", prog.DerivedPredicates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range g.Arcs {
+		if a.HasTailMember(HeadNode) {
+			t.Errorf("head node must not appear with an all-free head: %v", a)
+		}
+	}
+}

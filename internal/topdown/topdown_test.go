@@ -1,0 +1,216 @@
+package topdown
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/sip"
+)
+
+const (
+	ancestorSrc = `
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- par(X, Z), anc(Z, Y).
+	`
+	nonlinearSameGenSrc = `
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).
+	`
+	listReverseSrc = `
+		append(V, [], [V]) :- elem(V).
+		append(V, [W | X], [W | Y]) :- append(V, X, Y).
+		reverse([], []) :- emptylist(X).
+		reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).
+	`
+)
+
+func adorned(t *testing.T, src, query string) *adorn.Program {
+	t.Helper()
+	ad, err := adorn.Adorn(parser.MustParseProgram(src), parser.MustParseQuery(query), sip.FullLeftToRight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ad
+}
+
+func parentChain(n int) *database.Store {
+	s := database.NewStore()
+	for i := 0; i < n; i++ {
+		s.MustAddFact(ast.NewAtom("par", ast.S(fmt.Sprintf("n%d", i)), ast.S(fmt.Sprintf("n%d", i+1))))
+	}
+	return s
+}
+
+func TestAncestorChain(t *testing.T) {
+	ad := adorned(t, ancestorSrc, "anc(n3, Y)")
+	res, err := Evaluate(ad, parentChain(10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 7 {
+		t.Errorf("answers = %v, want 7 descendants of n3", res.Answers)
+	}
+	// Goals: one per node reachable from n3 (n3..n10 generate subqueries,
+	// the one for n10 has no par edge but is still asked).
+	if res.Stats.Queries != 8 {
+		t.Errorf("queries = %d, want 8", res.Stats.Queries)
+	}
+	if res.Stats.Answers == 0 || res.Stats.Derivations == 0 || res.Stats.Passes == 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+	if res.Stats.QueriesByPredicate["anc^bf"] != 8 {
+		t.Errorf("queries by predicate = %v", res.Stats.QueriesByPredicate)
+	}
+}
+
+func TestAgreesWithBottomUpOnCyclicData(t *testing.T) {
+	// A cycle: the memo tables must converge and agree with semi-naive
+	// evaluation of the unrewritten program.
+	edb := database.NewStore()
+	for i := 0; i < 5; i++ {
+		edb.MustAddFact(ast.NewAtom("par", ast.S(fmt.Sprintf("c%d", i)), ast.S(fmt.Sprintf("c%d", (i+1)%5))))
+	}
+	ad := adorned(t, ancestorSrc, "anc(c2, Y)")
+	res, err := Evaluate(ad, edb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := eval.SemiNaive(eval.Options{}).Evaluate(parser.MustParseProgram(ancestorSrc), edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eval.AnswerSet(full, "anc", ast.NewAtom("anc", ast.S("c2"), ast.V("Y")))
+	got := res.AnswerSet()
+	if len(got) != len(want) {
+		t.Fatalf("answers %d, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing answer %s", k)
+		}
+	}
+}
+
+func TestSameGenerationGoalsAndFacts(t *testing.T) {
+	edb := database.NewStore()
+	for i := 1; i <= 4; i++ {
+		edb.MustAddFact(ast.NewAtom("up", ast.S(fmt.Sprintf("a%d", i)), ast.S(fmt.Sprintf("p%d", i))))
+		edb.MustAddFact(ast.NewAtom("down", ast.S(fmt.Sprintf("p%d", i)), ast.S(fmt.Sprintf("a%d", i))))
+		if i < 4 {
+			edb.MustAddFact(ast.NewAtom("flat", ast.S(fmt.Sprintf("p%d", i)), ast.S(fmt.Sprintf("p%d", i+1))))
+			edb.MustAddFact(ast.NewAtom("flat", ast.S(fmt.Sprintf("a%d", i)), ast.S(fmt.Sprintf("a%d", i+1))))
+		}
+	}
+	ad := adorned(t, nonlinearSameGenSrc, "sg(a1, Y)")
+	res, err := Evaluate(ad, edb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := eval.SemiNaive(eval.Options{}).Evaluate(parser.MustParseProgram(nonlinearSameGenSrc), edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eval.AnswerSet(full, "sg", ast.NewAtom("sg", ast.S("a1"), ast.V("Y")))
+	got := res.AnswerSet()
+	if len(got) != len(want) {
+		t.Fatalf("answers %d, want %d", len(got), len(want))
+	}
+	// The top-down strategy must not compute the whole sg relation.
+	if res.Facts.FactCount("sg^bf") >= full.FactCount("sg") {
+		t.Errorf("top-down computed %d sg facts, naive computed %d; expected a restriction",
+			res.Facts.FactCount("sg^bf"), full.FactCount("sg"))
+	}
+	// Every goal's predicate is the adorned sg predicate.
+	for _, g := range res.Goals {
+		if g.Pred != "sg^bf" {
+			t.Errorf("unexpected goal %s", g)
+		}
+	}
+}
+
+func TestListReverseTopDown(t *testing.T) {
+	edb := database.NewStore()
+	for _, e := range []string{"a", "b", "c"} {
+		edb.MustAddFact(ast.NewAtom("elem", ast.S(e)))
+	}
+	edb.MustAddFact(ast.NewAtom("emptylist", ast.S("nil")))
+	ad := adorned(t, listReverseSrc, "reverse([a, b, c], Y)")
+	res, err := Evaluate(ad, edb, Options{MaxPasses: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 || res.Answers[0][0].String() != "[c, b, a]" {
+		t.Errorf("answers = %v, want [[c, b, a]]", res.Answers)
+	}
+	// Goals: reverse on each suffix (4) plus append on each recursive step.
+	if res.Stats.QueriesByPredicate["reverse^bf"] != 4 {
+		t.Errorf("reverse goals = %d, want 4", res.Stats.QueriesByPredicate["reverse^bf"])
+	}
+	if res.Stats.QueriesByPredicate["append^bbf"] == 0 {
+		t.Error("expected append^bbf goals")
+	}
+}
+
+func TestGoalKeyAndString(t *testing.T) {
+	g := Goal{Pred: "anc^bf", Bound: []ast.Term{ast.S("john")}}
+	if g.String() != "anc^bf(john)" {
+		t.Errorf("String = %s", g.String())
+	}
+	other := Goal{Pred: "anc^bf", Bound: []ast.Term{ast.S("johnny")}}
+	if g.Key() == other.Key() {
+		t.Error("distinct goals must have distinct keys")
+	}
+}
+
+func TestLimits(t *testing.T) {
+	ad := adorned(t, ancestorSrc, "anc(n0, Y)")
+	_, err := Evaluate(ad, parentChain(50), Options{MaxGoals: 5})
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("expected ErrLimitExceeded with MaxGoals, got %v", err)
+	}
+	_, err = Evaluate(ad, parentChain(50), Options{MaxAnswers: 10})
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("expected ErrLimitExceeded with MaxAnswers, got %v", err)
+	}
+	// On cyclic data the memo tables need several passes to converge, so a
+	// one-pass limit must trip (a linear chain converges during the eager
+	// recursive descent of the very first pass).
+	cyclic := database.NewStore()
+	for i := 0; i < 6; i++ {
+		cyclic.MustAddFact(ast.NewAtom("par", ast.S(fmt.Sprintf("c%d", i)), ast.S(fmt.Sprintf("c%d", (i+1)%6))))
+	}
+	adCyclic := adorned(t, ancestorSrc, "anc(c0, Y)")
+	_, err = Evaluate(adCyclic, cyclic, Options{MaxPasses: 1})
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("expected ErrLimitExceeded with MaxPasses, got %v", err)
+	}
+}
+
+func TestEmptyProgramRejected(t *testing.T) {
+	if _, err := Evaluate(nil, database.NewStore(), Options{}); err == nil {
+		t.Error("nil adorned program must be rejected")
+	}
+	if _, err := Evaluate(&adorn.Program{}, database.NewStore(), Options{}); err == nil {
+		t.Error("empty adorned program must be rejected")
+	}
+}
+
+func TestQueryWithNoMatchingFacts(t *testing.T) {
+	ad := adorned(t, ancestorSrc, "anc(zz, Y)")
+	res, err := Evaluate(ad, parentChain(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Errorf("expected no answers, got %v", res.Answers)
+	}
+	if res.Stats.Queries != 1 {
+		t.Errorf("expected only the original goal, got %d", res.Stats.Queries)
+	}
+}
