@@ -1,0 +1,28 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so `make ci`
+# reproduces exactly what CI runs.
+
+GO ?= go
+
+.PHONY: build test vet fmt-check bench quickstart ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# Benchmark smoke run: one iteration of every benchmark, no unit tests.
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' .
+
+quickstart:
+	$(GO) run ./examples/quickstart
+
+ci: build test vet fmt-check bench quickstart

@@ -294,6 +294,52 @@ func BenchmarkListReverse(b *testing.B) {
 	}
 }
 
+// --- storage/scheduler hot path ----------------------------------------------------
+
+// BenchmarkTransitiveClosure computes the full ancestor relation of a chain
+// bottom-up with the semi-naive evaluator: the canonical storage-bound
+// workload (quadratically many derived tuples, every insert a dedup check).
+func BenchmarkTransitiveClosure(b *testing.B) {
+	prog := parser.MustParseProgram(ancestorSrc)
+	for _, n := range []int{64, 256} {
+		edb, _ := workload.ParentChain("p", n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				store, _, err := eval.SemiNaive(eval.Options{}).Evaluate(prog, edb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := store.FactCount("a"); got != n*(n+1)/2 {
+					b.Fatalf("anc facts = %d", got)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSameGeneration evaluates the nonlinear same-generation program to
+// fixpoint over layered data: a join-heavy workload exercising the
+// bound-column indexes and the delta scheduler.
+func BenchmarkSameGeneration(b *testing.B) {
+	prog := parser.MustParseProgram(nonlinearSameGenSrc)
+	for _, leaves := range []int{16, 32} {
+		sg := workload.SameGenerationLayers(leaves, 3, false)
+		b.Run(fmt.Sprintf("leaves=%d", leaves), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				store, _, err := eval.SemiNaive(eval.Options{}).Evaluate(prog, sg.Store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if store.FactCount("sg") == 0 {
+					b.Fatal("no sg facts")
+				}
+			}
+		})
+	}
+}
+
 // --- substrate micro-benchmarks ----------------------------------------------------
 
 func BenchmarkRewritingOnly(b *testing.B) {

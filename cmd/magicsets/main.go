@@ -124,6 +124,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%%   derivations:     %d\n", s.Derivations)
 		fmt.Fprintf(out, "%%   iterations:      %d\n", s.Iterations)
 		fmt.Fprintf(out, "%%   join probes:     %d\n", s.JoinProbes)
+		if s.Strata > 0 {
+			fmt.Fprintf(out, "%%   strata:          %d\n", s.Strata)
+			fmt.Fprintf(out, "%%   index probes:    %d (%d tuples returned)\n", s.IndexProbes, s.IndexHits)
+		}
 	}
 	return nil
 }

@@ -132,7 +132,11 @@ type Options struct {
 	// MaxIterations, MaxFacts and MaxDerivations bound the bottom-up
 	// evaluation (0 = unlimited); ErrLimitExceeded is reported when a bound
 	// is hit, which is how non-terminating evaluations (e.g. counting on
-	// cyclic data) are observed safely.
+	// cyclic data) are observed safely. For every strategy except Naive,
+	// MaxIterations applies per strongly connected component of the
+	// evaluated program's dependency graph, so it bounds how long any one
+	// fixpoint loop may run regardless of how many strata the program has;
+	// the Naive strategy bounds whole-program rounds.
 	MaxIterations  int
 	MaxFacts       int
 	MaxDerivations int64
@@ -174,6 +178,16 @@ type Stats struct {
 	Iterations int
 	// JoinProbes counts tuple match attempts during bottom-up evaluation.
 	JoinProbes int64
+	// Strata is the number of strongly connected components of the evaluated
+	// program's dependency graph that the semi-naive scheduler processed
+	// (0 for the naive and top-down strategies).
+	Strata int
+	// IndexProbes is the number of bound-column index lookups performed
+	// during bottom-up evaluation; IndexHits is the number of tuples those
+	// lookups returned. Together they describe how selective the join
+	// indexes were.
+	IndexProbes int64
+	IndexHits   int64
 }
 
 // TotalFacts returns DerivedFacts + AuxFacts.
@@ -445,6 +459,9 @@ func (e *Engine) evaluateDirect(q ast.Query, opts Options) (*Result, error) {
 		res.Stats.Derivations = stats.Derivations
 		res.Stats.Iterations = stats.Iterations
 		res.Stats.JoinProbes = stats.JoinProbes
+		res.Stats.Strata = stats.Strata
+		res.Stats.IndexProbes = stats.IndexProbes
+		res.Stats.IndexHits = stats.IndexHits
 	}
 	if store != nil {
 		for key := range e.program.DerivedPredicates() {
@@ -528,6 +545,9 @@ func (e *Engine) evaluateRewritten(q ast.Query, opts Options) (*Result, error) {
 		res.Stats.Derivations = stats.Derivations
 		res.Stats.Iterations = stats.Iterations
 		res.Stats.JoinProbes = stats.JoinProbes
+		res.Stats.Strata = stats.Strata
+		res.Stats.IndexProbes = stats.IndexProbes
+		res.Stats.IndexHits = stats.IndexHits
 	}
 	if store != nil {
 		for key := range rewriting.Program.DerivedPredicates() {

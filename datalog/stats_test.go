@@ -1,0 +1,56 @@
+package datalog
+
+import "testing"
+
+// TestEvaluationStatsExposed checks the facade surfaces the scheduler and
+// index statistics of the bottom-up evaluator: strata counts for both the
+// unrewritten and the rewritten program, and index probe/hit counters.
+func TestEvaluationStatsExposed(t *testing.T) {
+	eng, err := NewEngine(`
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- par(X, Z), anc(Z, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText(`par(a, b). par(b, c). par(c, d).`); err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := eng.Query("anc(a, Y)", Options{Strategy: SemiNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Stats.Strata != 1 {
+		t.Errorf("semi-naive strata = %d, want 1", direct.Stats.Strata)
+	}
+	if direct.Stats.IndexProbes == 0 {
+		t.Error("semi-naive reported no index probes")
+	}
+
+	magic, err := eng.Query("anc(a, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The magic program has at least the magic predicate and the adorned
+	// answer predicate in separate components.
+	if magic.Stats.Strata < 2 {
+		t.Errorf("magic strata = %d, want at least 2", magic.Stats.Strata)
+	}
+	if magic.Stats.IndexProbes == 0 || magic.Stats.IndexHits == 0 {
+		t.Errorf("magic index stats = %d probes / %d hits, want both positive",
+			magic.Stats.IndexProbes, magic.Stats.IndexHits)
+	}
+	if len(magic.Answers) != 3 {
+		t.Errorf("answers = %d, want 3", len(magic.Answers))
+	}
+
+	// The top-down strategy does not run the bottom-up scheduler.
+	td, err := eng.Query("anc(a, Y)", Options{Strategy: TopDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Stats.Strata != 0 {
+		t.Errorf("top-down strata = %d, want 0", td.Stats.Strata)
+	}
+}

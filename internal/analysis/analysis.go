@@ -178,6 +178,9 @@ type StrategyRun struct {
 	Derivations int64
 	Iterations  int
 	JoinProbes  int64
+	// Strata is the number of dependency-graph components the semi-naive
+	// scheduler evaluated (0 for the top-down strategy).
+	Strata int
 	// Err records a failed run (limit exceeded, unsafe program, ...).
 	Err error
 }
@@ -224,6 +227,7 @@ func MeasureRewriting(name string, rw *rewrite.Rewriting, edb *database.Store, o
 		run.Derivations = stats.Derivations
 		run.Iterations = stats.Iterations
 		run.JoinProbes = stats.JoinProbes
+		run.Strata = stats.Strata
 	}
 	return run
 }
@@ -248,6 +252,7 @@ func MeasureProgram(name string, p *ast.Program, query ast.Query, edb *database.
 		run.Derivations = stats.Derivations
 		run.Iterations = stats.Iterations
 		run.JoinProbes = stats.JoinProbes
+		run.Strata = stats.Strata
 	}
 	return run
 }

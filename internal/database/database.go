@@ -6,6 +6,14 @@
 // paper). Derived relations computed during bottom-up evaluation are stored
 // in the same structure, so a Store holds both the EDB and, after
 // evaluation, the IDB.
+//
+// Storage layout: every ground term of every tuple is interned into the
+// process-wide symbol table of internal/intern, and a relation keeps, next
+// to the materialized terms, one dense []intern.ID row per tuple. Duplicate
+// detection and the bound-column hash indexes hash those ID rows directly,
+// so no canonical key strings are built on the insert or probe path. Each
+// index covers one set of columns (a bound-column pattern) and is maintained
+// incrementally on insert once built.
 package database
 
 import (
@@ -14,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/intern"
 )
 
 // Tuple is a ground tuple of a relation.
@@ -51,6 +60,55 @@ func (t Tuple) Equal(o Tuple) bool {
 	return true
 }
 
+// fnv1aOffset and fnv1aPrime are the 64-bit FNV-1a parameters used to hash
+// ID rows and projections.
+const (
+	fnv1aOffset uint64 = 14695981039346656037
+	fnv1aPrime  uint64 = 1099511628211
+)
+
+// hashID folds one interned ID into an FNV-1a-style hash state. The whole
+// 32-bit ID is folded in one multiply instead of byte-at-a-time; buckets are
+// verified by ID comparison, so hash quality only affects bucket sizes.
+func hashID(h uint64, id intern.ID) uint64 {
+	return (h ^ uint64(uint32(id))) * fnv1aPrime
+}
+
+// hashRow hashes a full ID row.
+func hashRow(row []intern.ID) uint64 {
+	h := fnv1aOffset
+	for _, id := range row {
+		h = hashID(h, id)
+	}
+	return h
+}
+
+// hashProjection hashes the row restricted to the given columns.
+func hashProjection(row []intern.ID, cols []int) uint64 {
+	h := fnv1aOffset
+	for _, c := range cols {
+		h = hashID(h, row[c])
+	}
+	return h
+}
+
+func equalRows(a, b []intern.ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// colIndex is a hash index on one set of columns: projection hash -> tuple
+// positions. Buckets may contain hash collisions; Lookup verifies candidates
+// against the probe IDs before returning them.
+type colIndex struct {
+	cols    []int // sorted column positions
+	buckets map[uint64][]int
+}
+
 // Relation is a set of ground tuples of fixed arity with optional hash
 // indexes on subsets of columns. Tuples are kept in insertion order; adding
 // a duplicate tuple is a no-op.
@@ -62,10 +120,15 @@ type Relation struct {
 	Arity int
 
 	tuples []Tuple
-	seen   map[string]bool
-	// indexes maps an index signature (sorted column positions) to a hash
-	// index: projection key -> tuple positions.
-	indexes map[string]map[string][]int
+	rows   [][]intern.ID
+	// seen maps a full-row hash to the positions of rows with that hash;
+	// candidates are verified by ID comparison, so collisions are harmless.
+	seen map[uint64][]int
+	// indexes maps a column bitmask to the hash index on those columns.
+	indexes map[uint64]*colIndex
+
+	// probes counts indexed lookups, hits the tuples they returned.
+	probes, hits int64
 }
 
 // NewRelation creates an empty relation with the given predicate key and
@@ -74,8 +137,8 @@ func NewRelation(name string, arity int) *Relation {
 	return &Relation{
 		Name:    name,
 		Arity:   arity,
-		seen:    make(map[string]bool),
-		indexes: make(map[string]map[string][]int),
+		seen:    make(map[uint64][]int),
+		indexes: make(map[uint64]*colIndex),
 	}
 }
 
@@ -86,8 +149,31 @@ func (r *Relation) Len() int { return len(r.tuples) }
 // not modify the returned slice or its tuples.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
+// findRow returns the position of the row equal to the given IDs, or -1.
+func (r *Relation) findRow(row []intern.ID) int {
+	for _, pos := range r.seen[hashRow(row)] {
+		if equalRows(r.rows[pos], row) {
+			return pos
+		}
+	}
+	return -1
+}
+
 // Contains reports whether the relation already holds the tuple.
-func (r *Relation) Contains(t Tuple) bool { return r.seen[t.Key()] }
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.Arity {
+		return false
+	}
+	row := make([]intern.ID, len(t))
+	for i, term := range t {
+		id, ok := intern.Find(term)
+		if !ok {
+			return false
+		}
+		row[i] = id
+	}
+	return r.findRow(row) >= 0
+}
 
 // Insert adds a tuple to the relation. It returns true if the tuple is new,
 // false if it was already present. Inserting a tuple of the wrong arity or a
@@ -101,17 +187,24 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 			return false, fmt.Errorf("relation %s: tuple %s is not ground", r.Name, t)
 		}
 	}
-	key := t.Key()
-	if r.seen[key] {
-		return false, nil
+	row := make([]intern.ID, len(t))
+	for i, term := range t {
+		row[i] = intern.Intern(term)
 	}
-	r.seen[key] = true
+	h := hashRow(row)
+	for _, pos := range r.seen[h] {
+		if equalRows(r.rows[pos], row) {
+			return false, nil
+		}
+	}
 	pos := len(r.tuples)
+	r.seen[h] = append(r.seen[h], pos)
 	r.tuples = append(r.tuples, t)
+	r.rows = append(r.rows, row)
 	// Maintain existing indexes incrementally.
-	for sig, idx := range r.indexes {
-		cols := decodeSignature(sig)
-		idx[projectionKey(t, cols)] = append(idx[projectionKey(t, cols)], pos)
+	for _, idx := range r.indexes {
+		k := hashProjection(row, idx.cols)
+		idx.buckets[k] = append(idx.buckets[k], pos)
 	}
 	return true, nil
 }
@@ -125,60 +218,38 @@ func (r *Relation) MustInsert(t Tuple) bool {
 	return ok
 }
 
-// signature encodes a set of column positions canonically.
-func signature(cols []int) string {
-	sorted := append([]int(nil), cols...)
-	sort.Ints(sorted)
-	parts := make([]string, len(sorted))
-	for i, c := range sorted {
-		parts[i] = fmt.Sprintf("%d", c)
-	}
-	return strings.Join(parts, ",")
-}
-
-func decodeSignature(sig string) []int {
-	if sig == "" {
-		return nil
-	}
-	parts := strings.Split(sig, ",")
-	cols := make([]int, len(parts))
-	for i, p := range parts {
-		fmt.Sscanf(p, "%d", &cols[i])
-	}
-	return cols
-}
-
-// projectionKey builds the hash key of a tuple restricted to the given
-// columns (which must be sorted).
-func projectionKey(t Tuple, cols []int) string {
-	var b strings.Builder
+// colMask encodes a sorted set of column positions as a bitmask. Columns
+// beyond 63 (which no workload in this repository reaches) fall back to an
+// unindexed scan in Lookup.
+func colMask(cols []int) (uint64, bool) {
+	var m uint64
 	for _, c := range cols {
-		b.WriteString(ast.Key(t[c]))
-		b.WriteByte(',')
+		if c >= 64 {
+			return 0, false
+		}
+		m |= 1 << uint(c)
 	}
-	return b.String()
+	return m, true
 }
 
-// ensureIndex builds (or returns) the hash index on the given columns.
-func (r *Relation) ensureIndex(cols []int) map[string][]int {
-	sig := signature(cols)
-	if idx, ok := r.indexes[sig]; ok {
+// ensureIndex builds (or returns) the hash index on the given sorted columns.
+func (r *Relation) ensureIndex(mask uint64, cols []int) *colIndex {
+	if idx, ok := r.indexes[mask]; ok {
 		return idx
 	}
-	sorted := decodeSignature(sig)
-	idx := make(map[string][]int)
-	for pos, t := range r.tuples {
-		k := projectionKey(t, sorted)
-		idx[k] = append(idx[k], pos)
+	idx := &colIndex{cols: append([]int(nil), cols...), buckets: make(map[uint64][]int)}
+	for pos, row := range r.rows {
+		k := hashProjection(row, idx.cols)
+		idx.buckets[k] = append(idx.buckets[k], pos)
 	}
-	r.indexes[sig] = idx
+	r.indexes[mask] = idx
 	return idx
 }
 
 // Lookup returns the positions of tuples whose values at the given columns
-// equal the given ground terms, using (and building if needed) a hash index.
-// cols and values must have equal length; with no columns it returns all
-// tuple positions.
+// equal the given ground terms, using (and building if needed) a hash index
+// on that bound-column pattern. cols and values must have equal length; with
+// no columns it returns all tuple positions.
 func (r *Relation) Lookup(cols []int, values []ast.Term) []int {
 	if len(cols) != len(values) {
 		panic("database: Lookup cols/values length mismatch")
@@ -190,36 +261,97 @@ func (r *Relation) Lookup(cols []int, values []ast.Term) []int {
 		}
 		return out
 	}
-	// Sort cols and values together for the canonical signature.
-	type cv struct {
-		c int
-		v ast.Term
-	}
-	pairs := make([]cv, len(cols))
+	// Resolve the probe values to IDs; a term that was never interned cannot
+	// occur in any stored tuple.
+	ids := make([]intern.ID, len(cols))
 	for i := range cols {
-		pairs[i] = cv{cols[i], values[i]}
+		id, ok := intern.Find(values[i])
+		if !ok {
+			return nil
+		}
+		ids[i] = id
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].c < pairs[j].c })
-	sortedCols := make([]int, len(pairs))
-	probe := make(Tuple, r.Arity)
-	for i, p := range pairs {
-		sortedCols[i] = p.c
-		probe[p.c] = p.v
+	// Callers enumerate bound positions left to right, so cols is almost
+	// always sorted already; sort only when it is not.
+	sortedCols := cols
+	if !sort.IntsAreSorted(cols) {
+		perm := make([]int, len(cols))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(i, j int) bool { return cols[perm[i]] < cols[perm[j]] })
+		sortedCols = make([]int, len(cols))
+		sortedIDs := make([]intern.ID, len(cols))
+		for i, p := range perm {
+			sortedCols[i] = cols[p]
+			sortedIDs[i] = ids[p]
+		}
+		ids = sortedIDs
 	}
-	idx := r.ensureIndex(sortedCols)
-	return idx[projectionKey(probe, sortedCols)]
+
+	mask, ok := colMask(sortedCols)
+	if !ok {
+		// Degenerate wide relation: filter by scan.
+		var out []int
+		for pos, row := range r.rows {
+			if rowMatches(row, sortedCols, ids) {
+				out = append(out, pos)
+			}
+		}
+		return out
+	}
+
+	idx := r.ensureIndex(mask, sortedCols)
+	bucket := idx.buckets[hashRow(ids)]
+	r.probes++
+
+	// Verify the candidates: the bucket may contain hash collisions. In the
+	// common collision-free case the bucket is returned as is.
+	clean := true
+	for _, pos := range bucket {
+		if !rowMatches(r.rows[pos], sortedCols, ids) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		r.hits += int64(len(bucket))
+		return bucket
+	}
+	var out []int
+	for _, pos := range bucket {
+		if rowMatches(r.rows[pos], sortedCols, ids) {
+			out = append(out, pos)
+		}
+	}
+	r.hits += int64(len(out))
+	return out
 }
+
+func rowMatches(row []intern.ID, cols []int, ids []intern.ID) bool {
+	for i, c := range cols {
+		if row[c] != ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IndexStats returns the number of indexed lookups performed on this
+// relation and the total number of tuples those lookups returned.
+func (r *Relation) IndexStats() (probes, hits int64) { return r.probes, r.hits }
 
 // Tuple returns the tuple at the given position.
 func (r *Relation) Tuple(pos int) Tuple { return r.tuples[pos] }
 
-// Clone returns a deep copy of the relation contents (indexes are not
-// copied; they are rebuilt lazily on the copy).
+// Clone returns a deep copy of the relation contents (indexes and stats are
+// not copied; indexes are rebuilt lazily on the copy).
 func (r *Relation) Clone() *Relation {
 	c := NewRelation(r.Name, r.Arity)
 	c.tuples = append([]Tuple(nil), r.tuples...)
-	for k := range r.seen {
-		c.seen[k] = true
+	c.rows = append([][]intern.ID(nil), r.rows...)
+	for h, positions := range r.seen {
+		c.seen[h] = append([]int(nil), positions...)
 	}
 	return c
 }
@@ -331,6 +463,17 @@ func (s *Store) FactCount(name string) int {
 		return r.Len()
 	}
 	return 0
+}
+
+// IndexStats sums the index probe/hit counters of every relation in the
+// store.
+func (s *Store) IndexStats() (probes, hits int64) {
+	for _, r := range s.relations {
+		p, h := r.IndexStats()
+		probes += p
+		hits += h
+	}
+	return probes, hits
 }
 
 // Clone returns a deep copy of the store. The evaluators clone the input

@@ -1,0 +1,197 @@
+package database
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// stringRelation is a reference implementation of the Relation contract with
+// the seed's string-keyed semantics: dedup by canonical tuple key, lookups by
+// linear scan comparing canonical term keys. The property tests below check
+// that the interned, hash-indexed Relation agrees with it on randomized
+// tuple streams.
+type stringRelation struct {
+	arity  int
+	tuples []Tuple
+	seen   map[string]bool
+}
+
+func newStringRelation(arity int) *stringRelation {
+	return &stringRelation{arity: arity, seen: make(map[string]bool)}
+}
+
+func (r *stringRelation) insert(t Tuple) bool {
+	key := t.Key()
+	if r.seen[key] {
+		return false
+	}
+	r.seen[key] = true
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+func (r *stringRelation) contains(t Tuple) bool { return r.seen[t.Key()] }
+
+func (r *stringRelation) lookup(cols []int, values []ast.Term) []int {
+	var out []int
+	for pos, t := range r.tuples {
+		match := true
+		for i, c := range cols {
+			if ast.Key(t[c]) != ast.Key(values[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// randTerm draws a ground term from a small universe so the stream contains
+// plenty of duplicates: symbols, integers and occasionally nested compounds.
+func randTerm(rng *rand.Rand, depth int) ast.Term {
+	switch k := rng.Intn(10); {
+	case k < 4:
+		return ast.S(fmt.Sprintf("s%d", rng.Intn(12)))
+	case k < 7:
+		return ast.I(int64(rng.Intn(12) - 4))
+	case k < 9 && depth < 2:
+		return ast.C("f", randTerm(rng, depth+1), randTerm(rng, depth+1))
+	default:
+		return ast.S(fmt.Sprintf("t%d", rng.Intn(4)))
+	}
+}
+
+func randTuple(rng *rand.Rand, arity int) Tuple {
+	t := make(Tuple, arity)
+	for i := range t {
+		t[i] = randTerm(rng, 0)
+	}
+	return t
+}
+
+// TestRelationAgreesWithStringKeyedReference drives both implementations
+// with the same randomized interleaving of inserts, membership tests and
+// indexed lookups and requires identical observable behavior.
+func TestRelationAgreesWithStringKeyedReference(t *testing.T) {
+	for _, arity := range []int{1, 2, 3} {
+		arity := arity
+		t.Run(fmt.Sprintf("arity=%d", arity), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + arity)))
+			rel := NewRelation("r", arity)
+			ref := newStringRelation(arity)
+			for step := 0; step < 3000; step++ {
+				switch rng.Intn(4) {
+				case 0, 1: // insert
+					tup := randTuple(rng, arity)
+					got, err := rel.Insert(tup)
+					if err != nil {
+						t.Fatalf("step %d: insert error: %v", step, err)
+					}
+					want := ref.insert(tup)
+					if got != want {
+						t.Fatalf("step %d: Insert(%s) = %v, reference says %v", step, tup, got, want)
+					}
+				case 2: // contains
+					tup := randTuple(rng, arity)
+					if got, want := rel.Contains(tup), ref.contains(tup); got != want {
+						t.Fatalf("step %d: Contains(%s) = %v, reference says %v", step, tup, got, want)
+					}
+				case 3: // lookup on a random bound-column pattern
+					var cols []int
+					for c := 0; c < arity; c++ {
+						if rng.Intn(2) == 0 {
+							cols = append(cols, c)
+						}
+					}
+					// Shuffle the columns: Lookup must not require sorted input.
+					rng.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+					values := make([]ast.Term, len(cols))
+					for i := range values {
+						values[i] = randTerm(rng, 0)
+					}
+					got := append([]int(nil), rel.Lookup(cols, values)...)
+					want := ref.lookup(cols, values)
+					sort.Ints(got)
+					sort.Ints(want)
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("step %d: Lookup(%v, %v) = %v, reference says %v", step, cols, values, got, want)
+					}
+				}
+			}
+			// Final state: same cardinality, same tuples in the same order.
+			if rel.Len() != len(ref.tuples) {
+				t.Fatalf("Len = %d, reference has %d", rel.Len(), len(ref.tuples))
+			}
+			for i, tup := range rel.Tuples() {
+				if !tup.Equal(ref.tuples[i]) {
+					t.Fatalf("tuple %d = %s, reference has %s", i, tup, ref.tuples[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCloneIsIndependent checks that a cloned relation dedups against the
+// original contents but does not leak inserts back.
+func TestCloneIsIndependent(t *testing.T) {
+	rel := NewRelation("c", 2)
+	rel.MustInsert(Tuple{ast.S("a"), ast.S("b")})
+	clone := rel.Clone()
+	if clone.MustInsert(Tuple{ast.S("a"), ast.S("b")}) {
+		t.Error("clone re-inserted a tuple the original already had")
+	}
+	if !clone.MustInsert(Tuple{ast.S("x"), ast.S("y")}) {
+		t.Error("clone rejected a fresh tuple")
+	}
+	if rel.Len() != 1 {
+		t.Errorf("insert into clone changed the original (len %d)", rel.Len())
+	}
+	if got := len(clone.Lookup([]int{0}, []ast.Term{ast.S("x")})); got != 1 {
+		t.Errorf("clone lookup found %d tuples, want 1", got)
+	}
+}
+
+// TestIndexMaintainedAcrossInserts builds an index, keeps inserting, and
+// checks that lookups stay exact (the index is maintained incrementally, not
+// rebuilt).
+func TestIndexMaintainedAcrossInserts(t *testing.T) {
+	rel := NewRelation("m", 2)
+	for i := 0; i < 10; i++ {
+		rel.MustInsert(Tuple{ast.I(int64(i % 3)), ast.I(int64(i))})
+	}
+	if got := len(rel.Lookup([]int{0}, []ast.Term{ast.I(0)})); got != 4 {
+		t.Fatalf("initial lookup: %d tuples, want 4", got)
+	}
+	for i := 10; i < 20; i++ {
+		rel.MustInsert(Tuple{ast.I(int64(i % 3)), ast.I(int64(i))})
+	}
+	if got := len(rel.Lookup([]int{0}, []ast.Term{ast.I(0)})); got != 7 {
+		t.Fatalf("post-insert lookup: %d tuples, want 7", got)
+	}
+	probes, hits := rel.IndexStats()
+	if probes != 2 || hits != 11 {
+		t.Errorf("IndexStats = %d probes, %d hits; want 2, 11", probes, hits)
+	}
+}
+
+// TestLookupUnknownTerm probes with a constant that no relation has ever
+// seen; the result must be empty, not a panic or a table mutation.
+func TestLookupUnknownTerm(t *testing.T) {
+	rel := NewRelation("u", 1)
+	rel.MustInsert(Tuple{ast.S("known")})
+	name := strings.Repeat("never-interned-", 3)
+	if got := rel.Lookup([]int{0}, []ast.Term{ast.S(name)}); len(got) != 0 {
+		t.Errorf("lookup of unknown constant returned %v", got)
+	}
+	if rel.Contains(Tuple{ast.S(name)}) {
+		t.Error("Contains reported an unknown constant")
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/database"
+	"repro/internal/depgraph"
 )
 
 // ErrLimitExceeded is returned when evaluation exceeds the configured
@@ -36,6 +37,11 @@ var ErrNonGroundFact = errors.New("eval: rule derived a non-ground fact (unsafe 
 // Options configure an evaluator.
 type Options struct {
 	// MaxIterations bounds the number of fixpoint iterations (0 = unlimited).
+	// For the SCC-scheduled semi-naive evaluator the bound applies per
+	// strongly connected component (the unit within which a diverging
+	// program loops), so a wide stratified program with many components
+	// does not trip it; for the naive evaluator it bounds whole-program
+	// rounds as before.
 	MaxIterations int
 	// MaxFacts bounds the total number of derived facts (0 = unlimited).
 	// Evaluation stops with ErrLimitExceeded when the bound is hit.
@@ -65,6 +71,21 @@ type Stats struct {
 	RuleFirings map[int]int64
 	// FactsByPredicate counts the distinct derived facts per predicate key.
 	FactsByPredicate map[string]int
+	// Strata is the number of strongly connected components of the
+	// derived-predicate dependency graph the semi-naive evaluator scheduled
+	// (0 for the naive evaluator, which iterates over the whole program).
+	Strata int
+	// DeltaRuleEvals counts rule evaluations performed in delta iterations;
+	// SkippedRuleEvals counts the rule/occurrence pairs the scheduler skipped
+	// because the occurrence's predicate had an empty delta or belonged to an
+	// already completed stratum.
+	DeltaRuleEvals   int64
+	SkippedRuleEvals int64
+	// IndexProbes is the number of bound-column index lookups the evaluation
+	// performed against the store; IndexHits is the number of tuples those
+	// lookups returned.
+	IndexProbes int64
+	IndexHits   int64
 }
 
 // addFiring records a successful rule instantiation.
@@ -96,9 +117,11 @@ type Evaluator interface {
 // every rule against the full store until no new facts appear.
 func Naive(opts Options) Evaluator { return &naiveEvaluator{opts: opts} }
 
-// SemiNaive returns the semi-naive bottom-up evaluator: after the first
-// iteration, a rule is re-evaluated only with at least one body occurrence
-// restricted to the facts newly derived in the previous iteration.
+// SemiNaive returns the semi-naive bottom-up evaluator: the program is
+// evaluated one strongly connected component of its dependency graph at a
+// time (callees before callers), and within a recursive component a rule is
+// re-evaluated only with at least one body occurrence restricted to the
+// facts newly derived in the previous iteration of that component.
 func SemiNaive(opts Options) Evaluator { return &semiNaiveEvaluator{opts: opts} }
 
 type naiveEvaluator struct{ opts Options }
@@ -117,6 +140,19 @@ type evalContext struct {
 	arities map[string]int
 	opts    Options
 	stats   *Stats
+	// discardedProbes/-Hits accumulate the index counters of the per-round
+	// delta stores, which are thrown away before finish reads the main
+	// store's counters.
+	discardedProbes int64
+	discardedHits   int64
+}
+
+// addDiscardedIndexStats folds the index counters of a store that is about
+// to be discarded into the context totals.
+func (ctx *evalContext) addDiscardedIndexStats(s *database.Store) {
+	p, h := s.IndexStats()
+	ctx.discardedProbes += p
+	ctx.discardedHits += h
 }
 
 func newContext(p *ast.Program, edb *database.Store, opts Options, name string) (*evalContext, error) {
@@ -239,11 +275,15 @@ func (ctx *evalContext) checkFactLimit() error {
 	return nil
 }
 
-// finish fills derived-fact counts and returns the final result.
+// finish fills derived-fact counts and index statistics and returns the
+// final result.
 func (ctx *evalContext) finish(err error) (*database.Store, *Stats, error) {
 	for key := range ctx.derived {
 		ctx.stats.FactsByPredicate[key] = ctx.store.FactCount(key)
 	}
+	ctx.stats.IndexProbes, ctx.stats.IndexHits = ctx.store.IndexStats()
+	ctx.stats.IndexProbes += ctx.discardedProbes
+	ctx.stats.IndexHits += ctx.discardedHits
 	return ctx.store, ctx.stats, err
 }
 
@@ -282,75 +322,102 @@ func (e *naiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*databas
 	}
 }
 
-// Evaluate implements Evaluator for the semi-naive strategy.
+// Evaluate implements Evaluator for the semi-naive strategy. The program is
+// decomposed into the strongly connected components of its derived-predicate
+// dependency graph (see internal/depgraph) and evaluated one component at a
+// time in topological order: by the time a component is scheduled, every
+// predicate it depends on from earlier components is complete, so a single
+// pass over the component's rules suffices for non-recursive components, and
+// recursive components iterate with deltas restricted to their own
+// predicates. Within the delta loop, a rule is re-fired only through body
+// occurrences of same-component predicates whose delta is non-empty.
 func (e *semiNaiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*database.Store, *Stats, error) {
 	ctx, err := newContext(p, edb, e.opts, e.Name())
 	if err != nil {
 		return nil, nil, err
 	}
+	plan := depgraph.Analyze(p)
+	ctx.stats.Strata = plan.Strata()
 
-	// delta holds the facts discovered in the previous iteration, per
-	// derived predicate.
-	delta := database.NewStore()
-
-	// First iteration: evaluate every rule against the full store (which at
-	// this point holds the base facts and any seeds).
-	ctx.stats.Iterations = 1
-	for i, r := range p.Rules {
-		err := ctx.ruleEval(i, r, -1, nil, func(head ast.Atom) error {
-			added, err := ctx.insertFact(ctx.store, head)
-			if err != nil {
-				return err
-			}
-			if added {
-				ctx.stats.NewFacts++
-				if _, err := ctx.insertFact(delta, head); err != nil {
+	for _, comp := range plan.Components {
+		// First pass over the component: evaluate its rules against the full
+		// store (base facts, seeds, and everything derived by earlier
+		// components). rounds counts this component's passes; MaxIterations
+		// bounds it per component so the limit keeps its old meaning of "how
+		// long may a fixpoint loop run" rather than scaling with the number
+		// of strata.
+		// The first pass can never trip MaxIterations (any positive bound
+		// admits at least one round), so only the delta loop checks it.
+		rounds := 1
+		ctx.stats.Iterations++
+		delta := database.NewStore()
+		for _, ri := range comp.Rules {
+			err := ctx.ruleEval(ri, p.Rules[ri], -1, nil, func(head ast.Atom) error {
+				added, err := ctx.insertFact(ctx.store, head)
+				if err != nil {
 					return err
 				}
-			}
-			return ctx.checkFactLimit()
-		})
-		if err != nil {
-			return ctx.finish(err)
-		}
-	}
-
-	for delta.TotalFacts() > 0 {
-		ctx.stats.Iterations++
-		if e.opts.MaxIterations > 0 && ctx.stats.Iterations > e.opts.MaxIterations {
-			return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, e.opts.MaxIterations))
-		}
-		next := database.NewStore()
-		for i, r := range p.Rules {
-			// Re-evaluate the rule once per body occurrence of a derived
-			// predicate whose delta is non-empty, with that occurrence
-			// restricted to the delta.
-			for pos, lit := range r.Body {
-				if !ctx.derived[lit.PredKey()] {
-					continue
-				}
-				if delta.FactCount(lit.PredKey()) == 0 {
-					continue
-				}
-				err := ctx.ruleEval(i, r, pos, delta, func(head ast.Atom) error {
-					added, err := ctx.insertFact(ctx.store, head)
-					if err != nil {
+				if added {
+					ctx.stats.NewFacts++
+					if _, err := ctx.insertFact(delta, head); err != nil {
 						return err
 					}
-					if added {
-						ctx.stats.NewFacts++
-						if _, err := ctx.insertFact(next, head); err != nil {
-							return err
-						}
-					}
-					return ctx.checkFactLimit()
-				})
-				if err != nil {
-					return ctx.finish(err)
 				}
+				return ctx.checkFactLimit()
+			})
+			if err != nil {
+				return ctx.finish(err)
 			}
 		}
-		delta = next
+		if !comp.Recursive {
+			// Nothing in this component can feed back into it: one pass is a
+			// fixpoint.
+			continue
+		}
+
+		// Delta iteration, confined to this component's rules. Only body
+		// occurrences of same-component predicates can carry new facts; all
+		// other predicates are complete.
+		for delta.TotalFacts() > 0 {
+			rounds++
+			ctx.stats.Iterations++
+			if e.opts.MaxIterations > 0 && rounds > e.opts.MaxIterations {
+				ctx.addDiscardedIndexStats(delta)
+				return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, e.opts.MaxIterations))
+			}
+			next := database.NewStore()
+			for _, ri := range comp.Rules {
+				r := p.Rules[ri]
+				for _, pos := range comp.DeltaPositions[ri] {
+					if delta.FactCount(r.Body[pos].PredKey()) == 0 {
+						ctx.stats.SkippedRuleEvals++
+						continue
+					}
+					ctx.stats.DeltaRuleEvals++
+					err := ctx.ruleEval(ri, r, pos, delta, func(head ast.Atom) error {
+						added, err := ctx.insertFact(ctx.store, head)
+						if err != nil {
+							return err
+						}
+						if added {
+							ctx.stats.NewFacts++
+							if _, err := ctx.insertFact(next, head); err != nil {
+								return err
+							}
+						}
+						return ctx.checkFactLimit()
+					})
+					if err != nil {
+						ctx.addDiscardedIndexStats(delta)
+						return ctx.finish(err)
+					}
+				}
+			}
+			// The per-round delta stores are discarded; fold their index
+			// counters in so Stats reflects delta-side probes too.
+			ctx.addDiscardedIndexStats(delta)
+			delta = next
+		}
 	}
 	return ctx.finish(nil)
 }

@@ -1,0 +1,177 @@
+// Package intern maintains a symbol table mapping ground terms to dense
+// uint32 IDs. The fact store (internal/database) keeps every tuple as a
+// slice of IDs, so duplicate detection and bound-column index probes hash a
+// few machine words instead of building and comparing canonical key strings.
+//
+// The table is process-wide and append-only: a term, once interned, keeps
+// its ID for the lifetime of the process, so IDs are comparable across
+// relations, stores and store clones. Access is guarded by a read-write
+// mutex; the steady-state path (re-interning an already known term) takes
+// only the read lock.
+package intern
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+)
+
+// ID is the dense identifier of an interned ground term. IDs start at 0 and
+// grow by 1 per distinct term.
+type ID uint32
+
+// Table interns ground terms. The zero value is not usable; use NewTable.
+type Table struct {
+	mu    sync.RWMutex
+	syms  map[string]ID
+	ints  map[int64]ID
+	comps map[string]ID // functor + NUL + little-endian argument IDs
+	terms []ast.Term
+}
+
+// NewTable returns an empty symbol table.
+func NewTable() *Table {
+	return &Table{
+		syms:  make(map[string]ID),
+		ints:  make(map[int64]ID),
+		comps: make(map[string]ID),
+	}
+}
+
+// global is the process-wide table shared by every relation.
+var global = NewTable()
+
+// Global returns the process-wide table.
+func Global() *Table { return global }
+
+// Intern interns a ground term into the process-wide table.
+func Intern(t ast.Term) ID { return global.Intern(t) }
+
+// Find looks a ground term up in the process-wide table without interning.
+func Find(t ast.Term) (ID, bool) { return global.Find(t) }
+
+// TermOf returns the term interned under id in the process-wide table.
+func TermOf(id ID) ast.Term { return global.Term(id) }
+
+// Key encodes a name plus a sequence of IDs into a compact string usable as
+// a map key: the name, a NUL separator, then each ID as 4 little-endian
+// bytes. It is the encoding the table uses for compound terms; other
+// packages (e.g. the top-down evaluator's goal table) reuse it so there is
+// a single definition of the binary key layout.
+func Key(name string, ids []ID) string {
+	b := make([]byte, 0, len(name)+1+4*len(ids))
+	b = append(b, name...)
+	b = append(b, 0)
+	for _, id := range ids {
+		b = binary.LittleEndian.AppendUint32(b, uint32(id))
+	}
+	return string(b)
+}
+
+// compKey builds the lookup key of a compound term from its functor and the
+// IDs of its (already interned) arguments.
+func compKey(functor string, args []ID) string { return Key(functor, args) }
+
+// Intern returns the ID of the term, assigning a fresh one if the term has
+// not been seen before. It panics on non-ground terms: callers are expected
+// to have checked groundness (the fact store rejects non-ground tuples
+// before interning).
+func (tb *Table) Intern(t ast.Term) ID {
+	if id, ok := tb.Find(t); ok {
+		return id
+	}
+	return tb.intern(t)
+}
+
+func (tb *Table) intern(t ast.Term) ID {
+	switch x := t.(type) {
+	case ast.Sym:
+		tb.mu.Lock()
+		defer tb.mu.Unlock()
+		if id, ok := tb.syms[x.Name]; ok {
+			return id
+		}
+		id := ID(len(tb.terms))
+		tb.syms[x.Name] = id
+		tb.terms = append(tb.terms, x)
+		return id
+	case ast.Int:
+		tb.mu.Lock()
+		defer tb.mu.Unlock()
+		if id, ok := tb.ints[x.Value]; ok {
+			return id
+		}
+		id := ID(len(tb.terms))
+		tb.ints[x.Value] = id
+		tb.terms = append(tb.terms, x)
+		return id
+	case ast.Compound:
+		args := make([]ID, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = tb.Intern(a)
+		}
+		key := compKey(x.Functor, args)
+		tb.mu.Lock()
+		defer tb.mu.Unlock()
+		if id, ok := tb.comps[key]; ok {
+			return id
+		}
+		id := ID(len(tb.terms))
+		tb.comps[key] = id
+		tb.terms = append(tb.terms, x)
+		return id
+	default:
+		panic(fmt.Sprintf("intern: cannot intern non-ground term %v", t))
+	}
+}
+
+// Find returns the ID of the term if it has been interned. Unlike Intern it
+// never grows the table, so it is safe to call on probe values that may
+// never occur in any relation; a false result means no stored tuple can
+// contain the term.
+func (tb *Table) Find(t ast.Term) (ID, bool) {
+	switch x := t.(type) {
+	case ast.Sym:
+		tb.mu.RLock()
+		id, ok := tb.syms[x.Name]
+		tb.mu.RUnlock()
+		return id, ok
+	case ast.Int:
+		tb.mu.RLock()
+		id, ok := tb.ints[x.Value]
+		tb.mu.RUnlock()
+		return id, ok
+	case ast.Compound:
+		args := make([]ID, len(x.Args))
+		for i, a := range x.Args {
+			id, ok := tb.Find(a)
+			if !ok {
+				return 0, false
+			}
+			args[i] = id
+		}
+		tb.mu.RLock()
+		id, ok := tb.comps[compKey(x.Functor, args)]
+		tb.mu.RUnlock()
+		return id, ok
+	default:
+		return 0, false
+	}
+}
+
+// Term returns the term interned under id. It panics if the ID was never
+// handed out by this table.
+func (tb *Table) Term(id ID) ast.Term {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return tb.terms[id]
+}
+
+// Len returns the number of distinct terms interned so far.
+func (tb *Table) Len() int {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return len(tb.terms)
+}

@@ -1,0 +1,108 @@
+package intern
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestInternStability(t *testing.T) {
+	tb := NewTable()
+	a := tb.Intern(ast.S("john"))
+	b := tb.Intern(ast.S("mary"))
+	if a == b {
+		t.Fatalf("distinct symbols interned to the same ID %d", a)
+	}
+	if got := tb.Intern(ast.S("john")); got != a {
+		t.Errorf("re-interning john: got %d, want %d", got, a)
+	}
+	if got := tb.Intern(ast.I(42)); got == a || got == b {
+		t.Errorf("integer shares an ID with a symbol")
+	}
+	// A symbol and an integer that render alike must not collide.
+	i7 := tb.Intern(ast.I(7))
+	s7 := tb.Intern(ast.S("7"))
+	if i7 == s7 {
+		t.Errorf("7 and \"7\" interned to the same ID")
+	}
+}
+
+func TestInternCompound(t *testing.T) {
+	tb := NewTable()
+	l1 := tb.Intern(ast.List(ast.S("a"), ast.S("b")))
+	l2 := tb.Intern(ast.List(ast.S("a"), ast.S("b")))
+	l3 := tb.Intern(ast.List(ast.S("b"), ast.S("a")))
+	if l1 != l2 {
+		t.Errorf("equal lists interned to different IDs %d, %d", l1, l2)
+	}
+	if l1 == l3 {
+		t.Errorf("different lists interned to the same ID %d", l1)
+	}
+	// Same functor, different arity.
+	f1 := tb.Intern(ast.C("f", ast.S("x")))
+	f2 := tb.Intern(ast.C("f", ast.S("x"), ast.S("x")))
+	if f1 == f2 {
+		t.Errorf("f/1 and f/2 interned to the same ID")
+	}
+}
+
+func TestTermRoundTrip(t *testing.T) {
+	tb := NewTable()
+	terms := []ast.Term{
+		ast.S("a"), ast.I(-3), ast.List(ast.S("x"), ast.I(1)),
+		ast.C("g", ast.C("h", ast.S("deep"))),
+	}
+	for _, term := range terms {
+		id := tb.Intern(term)
+		if got := tb.Term(id); !ast.Equal(got, term) {
+			t.Errorf("Term(Intern(%s)) = %s", term, got)
+		}
+	}
+	if tb.Len() < len(terms) {
+		t.Errorf("table length %d, want at least %d", tb.Len(), len(terms))
+	}
+}
+
+func TestFindDoesNotIntern(t *testing.T) {
+	tb := NewTable()
+	if _, ok := tb.Find(ast.S("ghost")); ok {
+		t.Fatal("found a term that was never interned")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Find grew the table to %d entries", tb.Len())
+	}
+	// A compound whose arguments are unknown is unknown.
+	tb.Intern(ast.S("a"))
+	if _, ok := tb.Find(ast.C("f", ast.S("a"), ast.S("ghost"))); ok {
+		t.Error("found a compound with an unknown argument")
+	}
+	id := tb.Intern(ast.C("f", ast.S("a")))
+	if got, ok := tb.Find(ast.C("f", ast.S("a"))); !ok || got != id {
+		t.Errorf("Find(f(a)) = %d,%v, want %d,true", got, ok, id)
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tb := NewTable()
+	var wg sync.WaitGroup
+	ids := make([][]ID, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]ID, 100)
+			for i := 0; i < 100; i++ {
+				ids[g][i] = tb.Intern(ast.I(int64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := range ids[g] {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d interned %d as %d, goroutine 0 as %d", g, i, ids[g][i], ids[0][i])
+			}
+		}
+	}
+}
