@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check bench quickstart ci
+# Benchtime for the JSON benchmark record; CI keeps the smoke value, local
+# perf runs want something like BENCHTIME=2s.
+BENCHTIME ?= 1x
+BENCH_DATE := $(shell date +%Y-%m-%d)
+
+.PHONY: build test vet fmt-check bench bench-json quickstart ci
 
 build:
 	$(GO) build ./...
@@ -22,7 +27,17 @@ fmt-check:
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .
 
+# Archive the benchmark suite (with allocation stats) as a JSON record:
+# BENCH_<date>.json with name, ns/op, B/op and allocs/op per benchmark.
+# CI uploads the file as an artifact so the perf trajectory is preserved.
+# Two commands, not a pipe: a benchmark failure must fail the target
+# instead of being masked by the converter's exit status.
+bench-json:
+	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' . > .bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json < .bench.out
+	@rm -f .bench.out
+
 quickstart:
 	$(GO) run ./examples/quickstart
 
-ci: build test vet fmt-check bench quickstart
+ci: build test vet fmt-check bench-json quickstart

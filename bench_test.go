@@ -340,6 +340,20 @@ func BenchmarkSameGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkCountingFixpoint evaluates the counting rewriting of the bound
+// ancestor query to fixpoint: the workload whose rule firings run the
+// arithmetic ops of the compiled pipelines (affine index matching in bodies,
+// integer construction in heads) rather than plain register copies.
+func BenchmarkCountingFixpoint(b *testing.B) {
+	edb, _ := workload.ParentChain("p", 128)
+	_, rw := mustRewrite(b, ancestorSrc, "a(n16, Y)", counting.New(counting.Options{Semijoin: true}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evalRewriting(b, rw, edb)
+	}
+}
+
 // --- substrate micro-benchmarks ----------------------------------------------------
 
 func BenchmarkRewritingOnly(b *testing.B) {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTransitiveClosure/n=64-8         	       5	   1582017 ns/op	  844704 B/op	    9194 allocs/op
+BenchmarkE6AncestorChain/magic/n=100-8    	     100	     98765 ns/op	        51.0 facts	        50.0 answers
+BenchmarkFacadeQuery-8                    	       5	   1113815 ns/op	  736451 B/op	    7861 allocs/op
+PASS
+ok  	repro	0.185s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	first := results[0]
+	if first.Name != "BenchmarkTransitiveClosure/n=64" {
+		t.Errorf("name = %q", first.Name)
+	}
+	if first.Iterations != 5 || first.NsPerOp != 1582017 || first.AllocsPerOp != 9194 || first.BytesPerOp != 844704 {
+		t.Errorf("unexpected first record: %+v", first)
+	}
+	// Custom metrics without B/op must still parse through their ns/op.
+	if results[1].Name != "BenchmarkE6AncestorChain/magic/n=100" || results[1].NsPerOp != 98765 {
+		t.Errorf("unexpected second record: %+v", results[1])
+	}
+	if results[1].AllocsPerOp != 0 {
+		t.Errorf("second record allocs = %v, want 0 (not measured)", results[1].AllocsPerOp)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var stdout strings.Builder
+	if err := run([]string{"-out", out}, strings.NewReader(sampleOutput), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"name": "BenchmarkFacadeQuery"`, `"ns_per_op"`, `"allocs_per_op"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output JSON missing %s:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(stdout.String(), "3 benchmark records") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+}
+
+func TestRunErrorsOnEmptyInput(t *testing.T) {
+	var stdout strings.Builder
+	err := run(nil, strings.NewReader("PASS\nok  \trepro\t0.1s\n"), &stdout)
+	if err == nil {
+		t.Fatal("expected an error for input without benchmark lines")
+	}
+}

@@ -128,6 +128,10 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%%   strata:          %d\n", s.Strata)
 			fmt.Fprintf(out, "%%   index probes:    %d (%d tuples returned)\n", s.IndexProbes, s.IndexHits)
 		}
+		if s.CompiledPlans > 0 {
+			fmt.Fprintf(out, "%%   compiled plans:  %d (%d ops)\n", s.CompiledPlans, s.PlanOps)
+			fmt.Fprintf(out, "%%   pipeline ops:    %d probes, %d scans\n", s.OpProbes, s.OpScans)
+		}
 	}
 	return nil
 }

@@ -176,7 +176,10 @@ type Stats struct {
 	Derivations int64
 	// Iterations is the number of bottom-up iterations or top-down passes.
 	Iterations int
-	// JoinProbes counts tuple match attempts during bottom-up evaluation.
+	// JoinProbes counts tuple match attempts during bottom-up evaluation:
+	// every candidate tuple tested against a body literal, whether it came
+	// from an indexed probe or a scan. It is the executor-level proxy for
+	// the join work the paper's Section 9 cost model counts.
 	JoinProbes int64
 	// Strata is the number of strongly connected components of the evaluated
 	// program's dependency graph that the semi-naive scheduler processed
@@ -185,9 +188,21 @@ type Stats struct {
 	// IndexProbes is the number of bound-column index lookups performed
 	// during bottom-up evaluation; IndexHits is the number of tuples those
 	// lookups returned. Together they describe how selective the join
-	// indexes were.
+	// indexes were. These are storage-level counters: scans contribute to
+	// JoinProbes but to neither of these.
 	IndexProbes int64
 	IndexHits   int64
+	// CompiledPlans counts the ID-space join pipelines the bottom-up
+	// evaluator compiled for the query (one per rule and delta-occurrence
+	// variant executed); PlanOps is the total number of pipeline ops across
+	// them. Both are 0 for the top-down strategy.
+	CompiledPlans int
+	PlanOps       int
+	// OpProbes counts executed pipeline probe ops (index-driven body steps)
+	// and OpScans executed scan ops (body steps with no bound column): the
+	// ratio shows how often evaluation could drive a join through an index.
+	OpProbes int64
+	OpScans  int64
 }
 
 // TotalFacts returns DerivedFacts + AuxFacts.
@@ -455,14 +470,7 @@ func (e *Engine) evaluateDirect(q ast.Query, opts Options) (*Result, error) {
 	store, stats, err := ev.Evaluate(e.program, e.store)
 	res := &Result{}
 	res.Stats.Strategy = opts.Strategy
-	if stats != nil {
-		res.Stats.Derivations = stats.Derivations
-		res.Stats.Iterations = stats.Iterations
-		res.Stats.JoinProbes = stats.JoinProbes
-		res.Stats.Strata = stats.Strata
-		res.Stats.IndexProbes = stats.IndexProbes
-		res.Stats.IndexHits = stats.IndexHits
-	}
+	fillEvalStats(&res.Stats, stats)
 	if store != nil {
 		for key := range e.program.DerivedPredicates() {
 			res.Stats.DerivedFacts += store.FactCount(key)
@@ -541,14 +549,7 @@ func (e *Engine) evaluateRewritten(q ast.Query, opts Options) (*Result, error) {
 	for _, s := range rewriting.Seeds {
 		res.Seeds = append(res.Seeds, s.String())
 	}
-	if stats != nil {
-		res.Stats.Derivations = stats.Derivations
-		res.Stats.Iterations = stats.Iterations
-		res.Stats.JoinProbes = stats.JoinProbes
-		res.Stats.Strata = stats.Strata
-		res.Stats.IndexProbes = stats.IndexProbes
-		res.Stats.IndexHits = stats.IndexHits
-	}
+	fillEvalStats(&res.Stats, stats)
 	if store != nil {
 		for key := range rewriting.Program.DerivedPredicates() {
 			if rewriting.AuxPredicates[key] {
@@ -563,6 +564,24 @@ func (e *Engine) evaluateRewritten(q ast.Query, opts Options) (*Result, error) {
 		return res, wrapLimit(evalErr)
 	}
 	return res, nil
+}
+
+// fillEvalStats copies the bottom-up evaluator's statistics into the public
+// stats structure.
+func fillEvalStats(dst *Stats, stats *eval.Stats) {
+	if stats == nil {
+		return
+	}
+	dst.Derivations = stats.Derivations
+	dst.Iterations = stats.Iterations
+	dst.JoinProbes = stats.JoinProbes
+	dst.Strata = stats.Strata
+	dst.IndexProbes = stats.IndexProbes
+	dst.IndexHits = stats.IndexHits
+	dst.CompiledPlans = stats.CompiledPlans
+	dst.PlanOps = stats.PlanOps
+	dst.OpProbes = stats.OpProbes
+	dst.OpScans = stats.OpScans
 }
 
 func renderAnswers(tuples []database.Tuple) []Answer {

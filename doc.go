@@ -6,8 +6,15 @@
 // semijoin optimization) evaluated bottom-up.
 //
 // The public API lives in package repro/datalog; the command-line tools are
-// cmd/magicsets (rewrite and evaluate a query) and cmd/benchtables
-// (regenerate every experiment documented in EXPERIMENTS.md). The root
-// package itself holds only the repository-level benchmarks in
-// bench_test.go.
+// cmd/magicsets (rewrite and evaluate a query), cmd/benchtables (regenerate
+// every experiment documented in EXPERIMENTS.md) and cmd/benchjson (archive
+// benchmark runs as JSON, see `make bench-json`). The root package itself
+// holds only the repository-level benchmarks in bench_test.go.
+//
+// Bottom-up evaluation compiles every rule into a join pipeline executed
+// over interned constant IDs (internal/eval/plan.go, compile.go): no
+// substitution maps are allocated and no terms materialized on the hot
+// path, and the stats it reports (derivations, join probes, index and
+// pipeline-op counters) are the cost quantities of the paper's Section 9;
+// EXPERIMENTS.md explains how to read them.
 package repro

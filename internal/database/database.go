@@ -8,12 +8,20 @@
 // evaluation, the IDB.
 //
 // Storage layout: every ground term of every tuple is interned into the
-// process-wide symbol table of internal/intern, and a relation keeps, next
-// to the materialized terms, one dense []intern.ID row per tuple. Duplicate
-// detection and the bound-column hash indexes hash those ID rows directly,
-// so no canonical key strings are built on the insert or probe path. Each
+// store's symbol table (internal/intern), and a relation keeps one dense
+// []intern.ID row per tuple. Duplicate detection and the bound-column hash
+// indexes hash those ID rows directly, so no canonical key strings are built
+// on the insert or probe path. Materialized term tuples are built lazily,
+// only when a caller reads tuples back out (answers, display, golden tests);
+// rows inserted and joined purely at the ID level never allocate terms. Each
 // index covers one set of columns (a bound-column pattern) and is maintained
 // incrementally on insert once built.
+//
+// Every Store owns its own intern.Table (shared with its clones and
+// siblings), so a long-lived process evaluating many independent programs
+// does not grow a process-wide append-only symbol table without bound.
+// Relations created standalone with NewRelation use the package-level
+// default table of internal/intern.
 package database
 
 import (
@@ -119,6 +127,11 @@ type Relation struct {
 	// Arity is the width of every tuple in the relation.
 	Arity int
 
+	// tab is the symbol table the relation's rows are interned in.
+	tab *intern.Table
+
+	// tuples caches materialized term tuples, parallel to rows; a nil entry
+	// means the tuple has not been read back as terms yet.
 	tuples []Tuple
 	rows   [][]intern.ID
 	// seen maps a full-row hash to the positions of rows with that hash;
@@ -132,22 +145,53 @@ type Relation struct {
 }
 
 // NewRelation creates an empty relation with the given predicate key and
-// arity.
+// arity, interning into the package-level default table of internal/intern.
 func NewRelation(name string, arity int) *Relation {
+	return NewRelationWith(intern.Global(), name, arity)
+}
+
+// NewRelationWith creates an empty relation interning into the given table.
+func NewRelationWith(tab *intern.Table, name string, arity int) *Relation {
 	return &Relation{
 		Name:    name,
 		Arity:   arity,
+		tab:     tab,
 		seen:    make(map[uint64][]int),
 		indexes: make(map[uint64]*colIndex),
 	}
 }
 
-// Len returns the number of tuples in the relation.
-func (r *Relation) Len() int { return len(r.tuples) }
+// Table returns the symbol table the relation interns its rows in.
+func (r *Relation) Table() *intern.Table { return r.tab }
 
-// Tuples returns the underlying tuple slice in insertion order. Callers must
-// not modify the returned slice or its tuples.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// Len returns the number of tuples in the relation.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Tuples returns the tuple slice in insertion order, materializing (and
+// caching) any tuples that so far exist only as ID rows. Because of that
+// cache fill it is a mutating read: it must not be called concurrently
+// with any other access to the relation. Callers must not modify the
+// returned slice or its tuples.
+func (r *Relation) Tuples() []Tuple {
+	for pos := range r.rows {
+		if r.tuples[pos] == nil {
+			r.materialize(pos)
+		}
+	}
+	return r.tuples
+}
+
+// materialize builds and caches the term tuple at the given position from
+// its ID row.
+func (r *Relation) materialize(pos int) Tuple {
+	row := r.rows[pos]
+	t := make(Tuple, len(row))
+	for i, id := range row {
+		t[i] = r.tab.Term(id)
+	}
+	r.tuples[pos] = t
+	return t
+}
 
 // findRow returns the position of the row equal to the given IDs, or -1.
 func (r *Relation) findRow(row []intern.ID) int {
@@ -166,7 +210,7 @@ func (r *Relation) Contains(t Tuple) bool {
 	}
 	row := make([]intern.ID, len(t))
 	for i, term := range t {
-		id, ok := intern.Find(term)
+		id, ok := r.tab.Find(term)
 		if !ok {
 			return false
 		}
@@ -189,7 +233,7 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	}
 	row := make([]intern.ID, len(t))
 	for i, term := range t {
-		row[i] = intern.Intern(term)
+		row[i] = r.tab.Intern(term)
 	}
 	h := hashRow(row)
 	for _, pos := range r.seen[h] {
@@ -197,17 +241,44 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 			return false, nil
 		}
 	}
-	pos := len(r.tuples)
+	r.appendRow(row, t, h)
+	return true, nil
+}
+
+// appendRow records a verified-new row (and its optional materialized tuple)
+// under the given full-row hash, maintaining existing indexes incrementally.
+func (r *Relation) appendRow(row []intern.ID, t Tuple, h uint64) {
+	pos := len(r.rows)
 	r.seen[h] = append(r.seen[h], pos)
 	r.tuples = append(r.tuples, t)
 	r.rows = append(r.rows, row)
-	// Maintain existing indexes incrementally.
 	for _, idx := range r.indexes {
 		k := hashProjection(row, idx.cols)
 		idx.buckets[k] = append(idx.buckets[k], pos)
 	}
+}
+
+// InsertRow adds a tuple given as an ID row interned in the relation's
+// table. It returns true if the row is new. The caller keeps ownership of
+// the slice: the relation copies it only when the row is actually added, so
+// executors may reuse a scratch buffer across calls.
+func (r *Relation) InsertRow(row []intern.ID) (bool, error) {
+	if len(row) != r.Arity {
+		return false, fmt.Errorf("relation %s: inserting row of arity %d into relation of arity %d", r.Name, len(row), r.Arity)
+	}
+	h := hashRow(row)
+	for _, pos := range r.seen[h] {
+		if equalRows(r.rows[pos], row) {
+			return false, nil
+		}
+	}
+	r.appendRow(append([]intern.ID(nil), row...), nil, h)
 	return true, nil
 }
+
+// Row returns the ID row at the given position. The returned slice is owned
+// by the relation and must not be modified.
+func (r *Relation) Row(pos int) []intern.ID { return r.rows[pos] }
 
 // MustInsert is Insert that panics on error; for use with generated data.
 func (r *Relation) MustInsert(t Tuple) bool {
@@ -255,17 +326,13 @@ func (r *Relation) Lookup(cols []int, values []ast.Term) []int {
 		panic("database: Lookup cols/values length mismatch")
 	}
 	if len(cols) == 0 {
-		out := make([]int, len(r.tuples))
-		for i := range out {
-			out[i] = i
-		}
-		return out
+		return r.allPositions()
 	}
 	// Resolve the probe values to IDs; a term that was never interned cannot
 	// occur in any stored tuple.
 	ids := make([]intern.ID, len(cols))
 	for i := range cols {
-		id, ok := intern.Find(values[i])
+		id, ok := r.tab.Find(values[i])
 		if !ok {
 			return nil
 		}
@@ -288,20 +355,39 @@ func (r *Relation) Lookup(cols []int, values []ast.Term) []int {
 		}
 		ids = sortedIDs
 	}
+	return r.LookupIDs(sortedCols, ids)
+}
 
-	mask, ok := colMask(sortedCols)
+func (r *Relation) allPositions() []int {
+	out := make([]int, len(r.rows))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// LookupIDs returns the positions of rows whose IDs at the given columns
+// equal the given IDs. cols must be sorted ascending; with no columns it
+// returns all row positions. It is the ID-level probe the compiled join
+// pipelines use: no terms are resolved or materialized. The returned slice
+// may alias index internals and must not be modified.
+func (r *Relation) LookupIDs(cols []int, ids []intern.ID) []int {
+	if len(cols) == 0 {
+		return r.allPositions()
+	}
+	mask, ok := colMask(cols)
 	if !ok {
 		// Degenerate wide relation: filter by scan.
 		var out []int
 		for pos, row := range r.rows {
-			if rowMatches(row, sortedCols, ids) {
+			if rowMatches(row, cols, ids) {
 				out = append(out, pos)
 			}
 		}
 		return out
 	}
 
-	idx := r.ensureIndex(mask, sortedCols)
+	idx := r.ensureIndex(mask, cols)
 	bucket := idx.buckets[hashRow(ids)]
 	r.probes++
 
@@ -309,7 +395,7 @@ func (r *Relation) Lookup(cols []int, values []ast.Term) []int {
 	// common collision-free case the bucket is returned as is.
 	clean := true
 	for _, pos := range bucket {
-		if !rowMatches(r.rows[pos], sortedCols, ids) {
+		if !rowMatches(r.rows[pos], cols, ids) {
 			clean = false
 			break
 		}
@@ -320,7 +406,7 @@ func (r *Relation) Lookup(cols []int, values []ast.Term) []int {
 	}
 	var out []int
 	for _, pos := range bucket {
-		if rowMatches(r.rows[pos], sortedCols, ids) {
+		if rowMatches(r.rows[pos], cols, ids) {
 			out = append(out, pos)
 		}
 	}
@@ -341,13 +427,39 @@ func rowMatches(row []intern.ID, cols []int, ids []intern.ID) bool {
 // relation and the total number of tuples those lookups returned.
 func (r *Relation) IndexStats() (probes, hits int64) { return r.probes, r.hits }
 
-// Tuple returns the tuple at the given position.
-func (r *Relation) Tuple(pos int) Tuple { return r.tuples[pos] }
+// Tuple returns the tuple at the given position, materializing it from the
+// ID row on first access. The materialization is cached, so like Tuples
+// this is a mutating read: not safe for concurrent use with any other
+// access to the relation.
+func (r *Relation) Tuple(pos int) Tuple {
+	if t := r.tuples[pos]; t != nil {
+		return t
+	}
+	return r.materialize(pos)
+}
+
+// Reset empties the relation in place for reuse, keeping the allocated
+// backing storage, the index definitions and the probe/hit counters. The
+// semi-naive evaluator resets its two per-component delta stores instead of
+// allocating fresh ones every round.
+func (r *Relation) Reset() {
+	r.tuples = r.tuples[:0]
+	r.rows = r.rows[:0]
+	for h := range r.seen {
+		delete(r.seen, h)
+	}
+	for _, idx := range r.indexes {
+		for k := range idx.buckets {
+			delete(idx.buckets, k)
+		}
+	}
+}
 
 // Clone returns a deep copy of the relation contents (indexes and stats are
-// not copied; indexes are rebuilt lazily on the copy).
+// not copied; indexes are rebuilt lazily on the copy). The clone shares the
+// original's symbol table, so ID rows remain comparable across the copies.
 func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.Name, r.Arity)
+	c := NewRelationWith(r.tab, r.Name, r.Arity)
 	c.tuples = append([]Tuple(nil), r.tuples...)
 	c.rows = append([][]intern.ID(nil), r.rows...)
 	for h, positions := range r.seen {
@@ -359,7 +471,7 @@ func (r *Relation) Clone() *Relation {
 // Sorted returns the tuples sorted by the total term order, for deterministic
 // display and golden tests.
 func (r *Relation) Sorted() []Tuple {
-	out := append([]Tuple(nil), r.tuples...)
+	out := append([]Tuple(nil), r.Tuples()...)
 	sort.Slice(out, func(i, j int) bool { return compareTuples(out[i], out[j]) < 0 })
 	return out
 }
@@ -379,16 +491,30 @@ func compareTuples(a, b Tuple) int {
 
 // Store is a collection of relations keyed by predicate key. It serves both
 // as the extensional database (base facts) and, during and after bottom-up
-// evaluation, as the store of derived facts.
+// evaluation, as the store of derived facts. Every store owns an intern
+// table scoped to it (shared with clones and siblings created through
+// NewStoreWith), so independent stores do not grow each other's symbol
+// tables.
 type Store struct {
+	tab       *intern.Table
 	relations map[string]*Relation
 	order     []string
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store with a fresh symbol table of its own.
 func NewStore() *Store {
-	return &Store{relations: make(map[string]*Relation)}
+	return NewStoreWith(intern.NewTable())
 }
+
+// NewStoreWith returns an empty store interning into the given table. The
+// evaluators use it to create delta stores whose ID rows are comparable
+// with the main store's.
+func NewStoreWith(tab *intern.Table) *Store {
+	return &Store{tab: tab, relations: make(map[string]*Relation)}
+}
+
+// Table returns the store's symbol table.
+func (s *Store) Table() *intern.Table { return s.tab }
 
 // Relation returns the relation with the given predicate key, creating it
 // with the given arity if absent. If it exists with a different arity an
@@ -400,7 +526,7 @@ func (s *Store) Relation(name string, arity int) (*Relation, error) {
 		}
 		return r, nil
 	}
-	r := NewRelation(name, arity)
+	r := NewRelationWith(s.tab, name, arity)
 	s.relations[name] = r
 	s.order = append(s.order, name)
 	return r, nil
@@ -476,10 +602,19 @@ func (s *Store) IndexStats() (probes, hits int64) {
 	return probes, hits
 }
 
-// Clone returns a deep copy of the store. The evaluators clone the input
-// database so the caller's store is never mutated by evaluation.
+// Reset empties every relation of the store in place, keeping relations,
+// their index definitions and their probe/hit counters. See Relation.Reset.
+func (s *Store) Reset() {
+	for _, r := range s.relations {
+		r.Reset()
+	}
+}
+
+// Clone returns a deep copy of the store, sharing the original's symbol
+// table so ID rows stay comparable. The evaluators clone the input database
+// so the caller's store is never mutated by evaluation.
 func (s *Store) Clone() *Store {
-	c := NewStore()
+	c := NewStoreWith(s.tab)
 	for _, name := range s.order {
 		c.relations[name] = s.relations[name].Clone()
 		c.order = append(c.order, name)

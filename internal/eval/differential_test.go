@@ -1,0 +1,401 @@
+package eval
+
+// Differential (property) tests for the compiled join pipelines: on
+// randomized programs and databases, the compiled ID-space executor must
+// compute exactly the fixpoint of the substitution-based reference
+// evaluator (Options.forceTermSpace), with identical fact counts and
+// derivation counts. The generators cover the shapes the paper's rewritings
+// produce: ancestor and same-generation recursion, magic guards, compound
+// (list) destructuring, and the arithmetic index fields of the counting
+// rewritings, plus purely random flat rules with shared, repeated and
+// constant arguments.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/database"
+	"repro/internal/parser"
+	"repro/internal/rewrite"
+	"repro/internal/rewrite/counting"
+	gms "repro/internal/rewrite/magic"
+	"repro/internal/rewrite/supmagic"
+	"repro/internal/sip"
+	"repro/internal/workload"
+)
+
+// assertSameFixpoint evaluates the program with the compiled executor and
+// the term-space reference (both semi-naive, plus the compiled naive
+// evaluator as a cross-check) and fails the test unless all agree.
+func assertSameFixpoint(t *testing.T, label string, prog *ast.Program, edb *database.Store, opts Options) {
+	t.Helper()
+
+	compiledStore, compiledStats, err := SemiNaive(opts).Evaluate(prog, edb)
+	if err != nil {
+		t.Fatalf("%s: compiled semi-naive: %v", label, err)
+	}
+	refOpts := opts
+	refOpts.forceTermSpace = true
+	refStore, refStats, err := SemiNaive(refOpts).Evaluate(prog, edb)
+	if err != nil {
+		t.Fatalf("%s: term-space semi-naive: %v", label, err)
+	}
+
+	if got, want := compiledStore.String(), refStore.String(); got != want {
+		t.Fatalf("%s: compiled and term-space fixpoints differ\ncompiled:\n%s\nterm-space:\n%s", label, got, want)
+	}
+	if compiledStats.NewFacts != refStats.NewFacts {
+		t.Errorf("%s: NewFacts: compiled %d, term-space %d", label, compiledStats.NewFacts, refStats.NewFacts)
+	}
+	// Derivations is intentionally not compared: the compiled executor may
+	// reorder a join, and a reordered rule probing its own head predicate
+	// can see facts inserted earlier in the same pass, re-deriving a
+	// duplicate one round earlier than the textual order would. The fixpoint
+	// and the fact counts are order-independent and must match exactly.
+	for key, n := range refStats.FactsByPredicate {
+		if compiledStats.FactsByPredicate[key] != n {
+			t.Errorf("%s: facts for %s: compiled %d, term-space %d", label, key, compiledStats.FactsByPredicate[key], n)
+		}
+	}
+	if compiledStats.CompiledPlans == 0 {
+		t.Errorf("%s: compiled evaluation reports no compiled plans", label)
+	}
+	if refStats.CompiledPlans != 0 {
+		t.Errorf("%s: term-space evaluation compiled %d plans, want 0", label, refStats.CompiledPlans)
+	}
+
+	naiveStore, _, err := Naive(opts).Evaluate(prog, edb)
+	if err != nil {
+		t.Fatalf("%s: compiled naive: %v", label, err)
+	}
+	if got, want := naiveStore.String(), refStore.String(); got != want {
+		t.Fatalf("%s: compiled naive fixpoint differs from term-space semi-naive\nnaive:\n%s\nterm-space:\n%s", label, got, want)
+	}
+}
+
+// randomEdge draws a random par-style edge store over n nodes.
+func randomEdgeStore(rng *rand.Rand, pred string, nodes, edges int) *database.Store {
+	edb := database.NewStore()
+	for i := 0; i < edges; i++ {
+		a := rng.Intn(nodes)
+		b := rng.Intn(nodes)
+		edb.MustAddFact(ast.NewAtom(pred, ast.S(fmt.Sprintf("n%d", a)), ast.S(fmt.Sprintf("n%d", b))))
+	}
+	return edb
+}
+
+// TestDifferentialAncestorShapes runs linear and nonlinear ancestor over
+// random graphs (including cyclic ones).
+func TestDifferentialAncestorShapes(t *testing.T) {
+	programs := map[string]string{
+		"linear": `
+			a(X, Y) :- p(X, Y).
+			a(X, Y) :- p(X, Z), a(Z, Y).
+		`,
+		"nonlinear": `
+			a(X, Y) :- p(X, Y).
+			a(X, Y) :- a(X, Z), a(Z, Y).
+		`,
+	}
+	for name, src := range programs {
+		prog := parser.MustParseProgram(src)
+		for seed := 0; seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			edb := randomEdgeStore(rng, "p", 4+rng.Intn(8), 6+rng.Intn(14))
+			assertSameFixpoint(t, fmt.Sprintf("%s/seed=%d", name, seed), prog, edb, Options{})
+		}
+	}
+}
+
+// TestDifferentialSameGeneration runs the nonlinear same-generation program
+// over random layered data.
+func TestDifferentialSameGeneration(t *testing.T) {
+	prog := parser.MustParseProgram(`
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).
+	`)
+	for seed := 0; seed < 4; seed++ {
+		sg := workload.SameGenerationLayers(4+seed*2, 2+seed%2, seed%2 == 1)
+		assertSameFixpoint(t, fmt.Sprintf("sg/seed=%d", seed), prog, sg.Store, Options{})
+	}
+}
+
+// TestDifferentialRandomFlatRules generates random function-free programs:
+// one or two derived predicates over two base predicates, bodies of one to
+// three literals with randomly shared, repeated and constant arguments.
+func TestDifferentialRandomFlatRules(t *testing.T) {
+	vars := []string{"X", "Y", "Z", "W"}
+	consts := []string{"n0", "n1", "n2"}
+	for seed := 0; seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(int64(100 + seed)))
+		randTerm := func(canBeConst bool) ast.Term {
+			if canBeConst && rng.Intn(5) == 0 {
+				return ast.S(consts[rng.Intn(len(consts))])
+			}
+			return ast.V(vars[rng.Intn(len(vars))])
+		}
+		preds := []string{"p", "q", "d1", "d2"}
+		var rules []ast.Rule
+		for ri := 0; ri < 2+rng.Intn(3); ri++ {
+			bodyLen := 1 + rng.Intn(3)
+			var body []ast.Atom
+			for bi := 0; bi < bodyLen; bi++ {
+				pred := preds[rng.Intn(len(preds))]
+				body = append(body, ast.NewAtom(pred, randTerm(true), randTerm(true)))
+			}
+			// A safe head: arguments drawn from the body's variables (or a
+			// constant when the body happens to have none).
+			bodyVars := ast.NewRule(ast.NewAtom("h"), body...).BodyVars()
+			names := ast.SortedVarNames(bodyVars)
+			headArg := func() ast.Term {
+				if len(names) == 0 {
+					return ast.S(consts[0])
+				}
+				return ast.V(names[rng.Intn(len(names))])
+			}
+			head := ast.NewAtom([]string{"d1", "d2"}[rng.Intn(2)], headArg(), headArg())
+			rules = append(rules, ast.NewRule(head, body...))
+		}
+		prog := ast.NewProgram(rules...)
+		edb := randomEdgeStore(rng, "p", 4, 8)
+		for i := 0; i < 6; i++ {
+			edb.MustAddFact(ast.NewAtom("q",
+				ast.S(consts[rng.Intn(len(consts))]), ast.S(fmt.Sprintf("n%d", rng.Intn(4)))))
+		}
+		// Bound the occasional pathological blowup; both evaluators see the
+		// same bound, so limit errors would diverge loudly in the fixpoint
+		// comparison (and none of the seeds trips it).
+		assertSameFixpoint(t, fmt.Sprintf("flat/seed=%d", seed), prog, edb, Options{MaxFacts: 20000})
+	}
+}
+
+// rewriteFor adorns and rewrites a program for a query with the given
+// rewriter, returning the rewritten program and a store extended with the
+// seed facts.
+func rewriteFor(t *testing.T, prog *ast.Program, query string, rw rewrite.Rewriter, edb *database.Store) (*ast.Program, *database.Store) {
+	t.Helper()
+	q := parser.MustParseQuery(query)
+	ad, err := adorn.Adorn(prog, q, sip.FullLeftToRight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rw.Rewrite(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := edb.Clone()
+	for _, seed := range res.Seeds {
+		if _, err := db.AddFact(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return res.Program, db
+}
+
+// TestDifferentialRewrittenPrograms runs the magic, supplementary-magic and
+// counting rewritings (the latter exercising arithmetic index fields and
+// affine matching, with and without the semijoin optimization) over random
+// acyclic data and checks the compiled executor against the reference on
+// the rewritten programs.
+func TestDifferentialRewrittenPrograms(t *testing.T) {
+	ancestor := parser.MustParseProgram(`
+		a(X, Y) :- p(X, Y).
+		a(X, Y) :- p(X, Z), a(Z, Y).
+	`)
+	sgSrc := parser.MustParseProgram(`
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).
+	`)
+	rewriters := []struct {
+		name string
+		rw   rewrite.Rewriter
+	}{
+		{"magic", gms.New(gms.Options{})},
+		{"supmagic", supmagic.New(supmagic.Options{})},
+		{"counting", counting.New(counting.Options{})},
+		{"counting-semijoin", counting.New(counting.Options{Semijoin: true})},
+		{"supcounting", counting.NewSupplementary(counting.Options{})},
+	}
+	for _, r := range rewriters {
+		for seed := 0; seed < 3; seed++ {
+			n := 6 + seed*3
+			edb, _ := workload.ParentChain("p", n)
+			query := fmt.Sprintf("a(n%d, Y)", 1+seed)
+			prog, db := rewriteFor(t, ancestor, query, r.rw, edb)
+			assertSameFixpoint(t, fmt.Sprintf("%s/anc/seed=%d", r.name, seed), prog, db, Options{})
+		}
+		sg := workload.SameGenerationLayers(4, 2, false)
+		prog, db := rewriteFor(t, sgSrc, fmt.Sprintf("sg(%s, Y)", sg.Start), r.rw, sg.Store)
+		assertSameFixpoint(t, r.name+"/sg", prog, db, Options{})
+	}
+}
+
+// TestDifferentialListPrograms runs the magic-rewritten list append/reverse
+// program (compound destructuring and construction in both body and head)
+// against the reference.
+func TestDifferentialListPrograms(t *testing.T) {
+	listSrc := parser.MustParseProgram(`
+		append(V, [], [V]) :- elem(V).
+		append(V, [W | X], [W | Y]) :- append(V, X, Y).
+		reverse([], []) :- emptylist(X).
+		reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).
+	`)
+	for _, rw := range []rewrite.Rewriter{gms.New(gms.Options{}), supmagic.New(supmagic.Options{})} {
+		for _, n := range []int{3, 5, 8} {
+			wl := workload.List(n)
+			query := fmt.Sprintf("reverse(%s, Y)", wl.List)
+			prog, db := rewriteFor(t, listSrc, query, rw, wl.Store)
+			assertSameFixpoint(t, fmt.Sprintf("list/n=%d", n), prog, db, Options{})
+		}
+	}
+}
+
+// TestDifferentialArithmeticBodies covers hand-written shapes that force
+// every arithmetic path of the pipeline: affine solving in a body literal,
+// arithmetic head construction, and the uninterpreted-arithmetic error.
+func TestDifferentialArithmeticBodies(t *testing.T) {
+	// Affine body matching: idx(I) holds iff c(I+1) holds, solving for I.
+	// (The surface parser has no infix arithmetic, so these rules are built
+	// with the AST constructors, the way the counting rewriters build
+	// theirs.)
+	prog := ast.NewProgram(
+		ast.NewRule(ast.NewAtom("idx", ast.V("I")),
+			ast.NewAtom("c", ast.Add(ast.V("I"), ast.I(1)))),
+		ast.NewRule(ast.NewAtom("dbl", ast.V("J")),
+			ast.NewAtom("c", ast.Add(ast.Mul(ast.V("J"), ast.I(2)), ast.I(2)))),
+		ast.NewRule(ast.NewAtom("nxt", ast.Add(ast.V("K"), ast.I(1))),
+			ast.NewAtom("c", ast.V("K"))),
+	)
+	edb := database.NewStore()
+	for _, v := range []int64{0, 1, 2, 4, 6, 7, 12} {
+		edb.MustAddFact(ast.NewAtom("c", ast.I(v)))
+	}
+	assertSameFixpoint(t, "affine", prog, edb, Options{})
+
+	// Upward counter with a bound: both evaluators must trip the same limit.
+	nat := ast.NewProgram(ast.NewRule(
+		ast.NewAtom("nat", ast.Add(ast.V("N"), ast.I(1))),
+		ast.NewAtom("nat", ast.V("N")),
+	))
+	nedb := database.NewStore()
+	nedb.MustAddFact(ast.NewAtom("nat", ast.I(0)))
+	_, compiledStats, err1 := SemiNaive(Options{MaxIterations: 8}).Evaluate(nat, nedb)
+	_, refStats, err2 := SemiNaive(Options{MaxIterations: 8, forceTermSpace: true}).Evaluate(nat, nedb)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("limit behavior differs: compiled err=%v, term-space err=%v", err1, err2)
+	}
+	if compiledStats.NewFacts != refStats.NewFacts {
+		t.Errorf("bounded counter NewFacts: compiled %d, term-space %d", compiledStats.NewFacts, refStats.NewFacts)
+	}
+
+	// Uninterpreted arithmetic after grounding: p binds X to a symbol, so
+	// the ground probe value X+1 is an error in both executors.
+	bad := ast.NewProgram(ast.NewRule(
+		ast.NewAtom("r", ast.V("X")),
+		ast.NewAtom("p", ast.V("X")),
+		ast.NewAtom("q", ast.Add(ast.V("X"), ast.I(1))),
+	))
+	bedb := database.NewStore()
+	bedb.MustAddFact(ast.NewAtom("p", ast.S("a")))
+	bedb.MustAddFact(ast.NewAtom("q", ast.I(1)))
+	_, _, errCompiled := SemiNaive(Options{}).Evaluate(bad, bedb)
+	_, _, errRef := SemiNaive(Options{forceTermSpace: true}).Evaluate(bad, bedb)
+	if errCompiled == nil || errRef == nil {
+		t.Fatalf("uninterpreted arithmetic: compiled err=%v, term-space err=%v (want both non-nil)", errCompiled, errRef)
+	}
+}
+
+// TestDifferentialStoredArithCompounds covers EDBs that store uninterpreted
+// constant arithmetic verbatim (facts asserted as (1+2) rather than 3). The
+// term-space evaluator folds such values with ast.EvalArith whenever a
+// substituted argument is instantiated, so the compiled executor must
+// normalize register values the same way on probes, register-equality
+// tests, head construction, and keep the structural branch of an
+// arithmetic pattern whose variables were bound within the literal.
+func TestDifferentialStoredArithCompounds(t *testing.T) {
+	// Probe normalization: X binds to the compound (1+2) from p, the probe
+	// into q must fold it to 3.
+	probe := ast.NewProgram(ast.NewRule(
+		ast.NewAtom("h", ast.V("X")),
+		ast.NewAtom("p", ast.V("X")),
+		ast.NewAtom("q", ast.V("X")),
+	))
+	edb := database.NewStore()
+	edb.MustAddFact(ast.NewAtom("p", ast.Add(ast.I(1), ast.I(2))))
+	edb.MustAddFact(ast.NewAtom("q", ast.I(3)))
+	assertSameFixpoint(t, "probe-normalization", probe, edb, Options{})
+
+	// Head normalization: a head variable holding (1+2) must store 3, and
+	// one holding f((1+2)) must store f(3).
+	head := ast.NewProgram(
+		ast.NewRule(ast.NewAtom("out", ast.V("X")), ast.NewAtom("p", ast.V("X"))),
+		ast.NewRule(ast.NewAtom("out2", ast.V("Y")), ast.NewAtom("r", ast.V("Y"))),
+	)
+	hedb := database.NewStore()
+	hedb.MustAddFact(ast.NewAtom("p", ast.Add(ast.I(1), ast.I(2))))
+	hedb.MustAddFact(ast.NewAtom("r", ast.C("f", ast.Add(ast.I(1), ast.I(2)))))
+	assertSameFixpoint(t, "head-normalization", head, hedb, Options{})
+
+	// Register-equality test: the repeated variable X is bound to (1+2) by
+	// the first occurrence and must fold-match the stored 3 at the second.
+	rep := ast.NewProgram(ast.NewRule(
+		ast.NewAtom("h", ast.V("Y")),
+		ast.NewAtom("pair", ast.V("X"), ast.V("Y")),
+		ast.NewAtom("q", ast.V("X")),
+	))
+	redb := database.NewStore()
+	redb.MustAddFact(ast.NewAtom("pair", ast.Add(ast.I(1), ast.I(2)), ast.S("a")))
+	redb.MustAddFact(ast.NewAtom("q", ast.I(3)))
+	assertSameFixpoint(t, "test-normalization", rep, redb, Options{})
+
+	// Structural branch of a within-literal-bound arithmetic pattern: the
+	// pattern X+1 (X bound by the sibling argument of the same compound) is
+	// not folded at instantiation time, so it must structurally match the
+	// stored compound (2+1).
+	within := ast.NewProgram(ast.NewRule(
+		ast.NewAtom("h", ast.V("X")),
+		ast.NewAtom("p", ast.C("f", ast.V("X"), ast.Add(ast.V("X"), ast.I(1)))),
+	))
+	wedb := database.NewStore()
+	wedb.MustAddFact(ast.NewAtom("p", ast.C("f", ast.I(2), ast.Add(ast.I(2), ast.I(1)))))
+	wedb.MustAddFact(ast.NewAtom("p", ast.C("f", ast.I(4), ast.I(5))))
+	wedb.MustAddFact(ast.NewAtom("p", ast.C("f", ast.I(6), ast.I(8))))
+	assertSameFixpoint(t, "within-literal-structural", within, wedb, Options{})
+
+	// Pre-literal-bound arithmetic subpattern: Y is bound by the first
+	// literal, so instantiating g(X, Y+1) folds Y+1 to an integer, which
+	// must NOT structurally match a stored compound.
+	pre := ast.NewProgram(ast.NewRule(
+		ast.NewAtom("h", ast.V("X")),
+		ast.NewAtom("b", ast.V("Y")),
+		ast.NewAtom("p", ast.C("g", ast.V("X"), ast.Add(ast.V("Y"), ast.I(1)))),
+	))
+	pedb := database.NewStore()
+	pedb.MustAddFact(ast.NewAtom("b", ast.I(2)))
+	pedb.MustAddFact(ast.NewAtom("p", ast.C("g", ast.S("m"), ast.I(3))))
+	pedb.MustAddFact(ast.NewAtom("p", ast.C("g", ast.S("n"), ast.Add(ast.I(2), ast.I(1)))))
+	assertSameFixpoint(t, "pre-literal-folded", pre, pedb, Options{})
+}
+
+// TestDifferentialProbeMissDoesNotMaskArithError checks a probe column whose
+// value was never interned (X+1 = 6, and 6 occurs nowhere) does not
+// short-circuit past a later ground argument carrying uninterpreted
+// arithmetic: both executors must report the error, not silently succeed.
+func TestDifferentialProbeMissDoesNotMaskArithError(t *testing.T) {
+	prog := ast.NewProgram(ast.NewRule(
+		ast.NewAtom("h", ast.V("X")),
+		ast.NewAtom("b", ast.V("X")),
+		ast.NewAtom("p", ast.Add(ast.V("X"), ast.I(1)), ast.Add(ast.S("a"), ast.I(1))),
+	))
+	edb := database.NewStore()
+	edb.MustAddFact(ast.NewAtom("b", ast.I(5)))
+	edb.MustAddFact(ast.NewAtom("p", ast.I(0), ast.I(0)))
+	_, _, errCompiled := SemiNaive(Options{}).Evaluate(prog, edb)
+	_, _, errRef := SemiNaive(Options{forceTermSpace: true}).Evaluate(prog, edb)
+	if errCompiled == nil || errRef == nil {
+		t.Fatalf("probe miss masked the arithmetic error: compiled err=%v, term-space err=%v (want both non-nil)", errCompiled, errRef)
+	}
+}

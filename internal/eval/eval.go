@@ -20,6 +20,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/database"
 	"repro/internal/depgraph"
+	"repro/internal/intern"
 )
 
 // ErrLimitExceeded is returned when evaluation exceeds the configured
@@ -49,6 +50,11 @@ type Options struct {
 	// MaxDerivations bounds the total number of rule firings, successful or
 	// duplicate (0 = unlimited).
 	MaxDerivations int64
+	// forceTermSpace disables the compiled ID-space join pipelines and
+	// evaluates every rule with the substitution-based reference matcher.
+	// It exists for the differential tests that prove the compiled executor
+	// equivalent to the term-space one; production callers leave it false.
+	forceTermSpace bool
 }
 
 // Stats records the work done by an evaluation. The fact and derivation
@@ -64,8 +70,14 @@ type Stats struct {
 	Derivations int64
 	// NewFacts is the number of distinct derived facts added to the store.
 	NewFacts int
-	// JoinProbes counts tuple match attempts during body evaluation; a rough
-	// proxy for join work.
+	// JoinProbes counts tuple match attempts during body evaluation: every
+	// candidate tuple the executor tested against a body literal, whether it
+	// came from an indexed probe or a scan and whether or not the post-probe
+	// filtering on the literal's free positions accepted it. It is an
+	// executor-level counter; contrast IndexHits, which is the storage-level
+	// count of tuples returned by indexed lookups only (so scans contribute
+	// to JoinProbes but never to IndexHits, and the two coincide only when
+	// every literal evaluation is index-driven).
 	JoinProbes int64
 	// RuleFirings counts successful instantiations per rule index.
 	RuleFirings map[int]int64
@@ -82,10 +94,23 @@ type Stats struct {
 	DeltaRuleEvals   int64
 	SkippedRuleEvals int64
 	// IndexProbes is the number of bound-column index lookups the evaluation
-	// performed against the store; IndexHits is the number of tuples those
-	// lookups returned.
+	// performed against the store (main and delta sides); IndexHits is the
+	// number of tuples those lookups returned. These are storage-level
+	// counters: a JoinProbes match attempt fed by a scan appears in neither.
 	IndexProbes int64
 	IndexHits   int64
+	// CompiledPlans counts the join pipelines compiled for this evaluation
+	// (one per rule and delta-occurrence variant actually executed), and
+	// PlanOps the total number of pipeline ops across them (one per body
+	// step plus one head constructor each).
+	CompiledPlans int
+	PlanOps       int
+	// OpProbes counts executed pipeline probe ops (index-driven steps) and
+	// OpScans executed scan ops (steps with no bound column). Together they
+	// describe how often the compiled executor could drive a join through an
+	// index versus falling back to scanning a relation.
+	OpProbes int64
+	OpScans  int64
 }
 
 // addFiring records a successful rule instantiation.
@@ -140,19 +165,15 @@ type evalContext struct {
 	arities map[string]int
 	opts    Options
 	stats   *Stats
-	// discardedProbes/-Hits accumulate the index counters of the per-round
-	// delta stores, which are thrown away before finish reads the main
-	// store's counters.
-	discardedProbes int64
-	discardedHits   int64
-}
-
-// addDiscardedIndexStats folds the index counters of a store that is about
-// to be discarded into the context totals.
-func (ctx *evalContext) addDiscardedIndexStats(s *database.Store) {
-	p, h := s.IndexStats()
-	ctx.discardedProbes += p
-	ctx.discardedHits += h
+	// compiled memoizes the join-pipeline variants per rule.
+	compiled []compiledRule
+	// reader is the lock-free view of the store's symbol table the compiled
+	// pipelines execute against.
+	reader intern.Reader
+	// extraStores lists auxiliary stores (the reusable delta stores of the
+	// semi-naive evaluator) whose index counters finish folds into the
+	// totals alongside the main store's.
+	extraStores []*database.Store
 }
 
 func newContext(p *ast.Program, edb *database.Store, opts Options, name string) (*evalContext, error) {
@@ -161,17 +182,19 @@ func newContext(p *ast.Program, edb *database.Store, opts Options, name string) 
 		return nil, fmt.Errorf("eval: %w", err)
 	}
 	ctx := &evalContext{
-		program: p,
-		store:   edb.Clone(),
-		derived: p.DerivedPredicates(),
-		arities: arities,
-		opts:    opts,
+		program:  p,
+		store:    edb.Clone(),
+		derived:  p.DerivedPredicates(),
+		arities:  arities,
+		opts:     opts,
+		compiled: make([]compiledRule, len(p.Rules)),
 		stats: &Stats{
 			Strategy:         name,
 			RuleFirings:      make(map[int]int64),
 			FactsByPredicate: make(map[string]int),
 		},
 	}
+	ctx.reader = ctx.store.Table().Reader()
 	// Pre-create relations for every derived predicate so lookups during
 	// body matching never fail on missing relations.
 	for key := range ctx.derived {
@@ -222,7 +245,9 @@ func (ctx *evalContext) matchLiteral(lit ast.Atom, rel *database.Relation, s ast
 
 // ruleEval evaluates one rule with the body literal at deltaPos (if >= 0)
 // matched against the delta store instead of the full store, and calls emit
-// for every derived ground head fact.
+// for every derived ground head fact. It is the substitution-based reference
+// evaluator: production evaluation goes through the compiled join pipelines
+// (plan.go/compile.go), and the differential tests check the two agree.
 func (ctx *evalContext) ruleEval(ruleIdx int, r ast.Rule, deltaPos int, delta *database.Store, emit func(ast.Atom) error) error {
 	var walk func(i int, s ast.Subst) error
 	walk = func(i int, s ast.Subst) error {
@@ -268,6 +293,67 @@ func (ctx *evalContext) insertFact(target *database.Store, head ast.Atom) (bool,
 	return added, nil
 }
 
+// insertRow adds a derived ID row to the target store and reports whether it
+// was new there.
+func (ctx *evalContext) insertRow(target *database.Store, key string, arity int, row []intern.ID) (bool, error) {
+	rel, err := target.Relation(key, arity)
+	if err != nil {
+		return false, fmt.Errorf("eval: %w", err)
+	}
+	added, err := rel.InsertRow(row)
+	if err != nil {
+		return false, fmt.Errorf("eval: %w", err)
+	}
+	return added, nil
+}
+
+// fireRule evaluates one rule — through its compiled join pipeline, or the
+// substitution-based reference matcher when forceTermSpace is set — with the
+// body literal at deltaPos (if >= 0) matched against the delta store. Every
+// derived fact is inserted into the main store; new facts are additionally
+// inserted into aux (if non-nil, the next delta store) and reported through
+// onNew.
+func (ctx *evalContext) fireRule(ruleIdx int, deltaPos int, delta *database.Store, aux *database.Store, onNew func()) error {
+	if pl := ctx.pipelineFor(ruleIdx, deltaPos); pl != nil {
+		return pl.run(ctx, delta, func(row []intern.ID) error {
+			added, err := ctx.insertRow(ctx.store, pl.headKey, pl.headArity, row)
+			if err != nil {
+				return err
+			}
+			if added {
+				ctx.stats.NewFacts++
+				if aux != nil {
+					if _, err := ctx.insertRow(aux, pl.headKey, pl.headArity, row); err != nil {
+						return err
+					}
+				}
+				if onNew != nil {
+					onNew()
+				}
+			}
+			return ctx.checkFactLimit()
+		})
+	}
+	return ctx.ruleEval(ruleIdx, ctx.program.Rules[ruleIdx], deltaPos, delta, func(head ast.Atom) error {
+		added, err := ctx.insertFact(ctx.store, head)
+		if err != nil {
+			return err
+		}
+		if added {
+			ctx.stats.NewFacts++
+			if aux != nil {
+				if _, err := ctx.insertFact(aux, head); err != nil {
+					return err
+				}
+			}
+			if onNew != nil {
+				onNew()
+			}
+		}
+		return ctx.checkFactLimit()
+	})
+}
+
 func (ctx *evalContext) checkFactLimit() error {
 	if ctx.opts.MaxFacts > 0 && ctx.stats.NewFacts > ctx.opts.MaxFacts {
 		return fmt.Errorf("%w: more than %d facts", ErrLimitExceeded, ctx.opts.MaxFacts)
@@ -275,15 +361,18 @@ func (ctx *evalContext) checkFactLimit() error {
 	return nil
 }
 
-// finish fills derived-fact counts and index statistics and returns the
-// final result.
+// finish fills derived-fact counts and index statistics (main store plus
+// the reusable delta stores) and returns the final result.
 func (ctx *evalContext) finish(err error) (*database.Store, *Stats, error) {
 	for key := range ctx.derived {
 		ctx.stats.FactsByPredicate[key] = ctx.store.FactCount(key)
 	}
 	ctx.stats.IndexProbes, ctx.stats.IndexHits = ctx.store.IndexStats()
-	ctx.stats.IndexProbes += ctx.discardedProbes
-	ctx.stats.IndexHits += ctx.discardedHits
+	for _, s := range ctx.extraStores {
+		p, h := s.IndexStats()
+		ctx.stats.IndexProbes += p
+		ctx.stats.IndexHits += h
+	}
 	return ctx.store, ctx.stats, err
 }
 
@@ -299,20 +388,8 @@ func (e *naiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*databas
 			return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, e.opts.MaxIterations))
 		}
 		changed := false
-		for i, r := range p.Rules {
-			err := ctx.ruleEval(i, r, -1, nil, func(head ast.Atom) error {
-				added, err := ctx.insertFact(ctx.store, head)
-				if err != nil {
-					return err
-				}
-				if added {
-					changed = true
-					ctx.stats.NewFacts++
-					ctx.stats.FactsByPredicate[head.PredKey()]++
-				}
-				return ctx.checkFactLimit()
-			})
-			if err != nil {
+		for i := range p.Rules {
+			if err := ctx.fireRule(i, -1, nil, nil, func() { changed = true }); err != nil {
 				return ctx.finish(err)
 			}
 		}
@@ -339,6 +416,16 @@ func (e *semiNaiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*dat
 	plan := depgraph.Analyze(p)
 	ctx.stats.Strata = plan.Strata()
 
+	// Two delta stores are allocated once and reused across every round of
+	// every component (clear-and-refill instead of fresh stores): delta holds
+	// the facts driving the current round, next collects the facts it
+	// derives, and the two swap roles at the end of the round. They share the
+	// main store's symbol table so compiled pipelines can move raw ID rows
+	// between them; finish folds their index counters into the totals.
+	delta := database.NewStoreWith(ctx.store.Table())
+	next := database.NewStoreWith(ctx.store.Table())
+	ctx.extraStores = []*database.Store{delta, next}
+
 	for _, comp := range plan.Components {
 		// First pass over the component: evaluate its rules against the full
 		// store (base facts, seeds, and everything derived by earlier
@@ -350,22 +437,9 @@ func (e *semiNaiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*dat
 		// admits at least one round), so only the delta loop checks it.
 		rounds := 1
 		ctx.stats.Iterations++
-		delta := database.NewStore()
+		delta.Reset()
 		for _, ri := range comp.Rules {
-			err := ctx.ruleEval(ri, p.Rules[ri], -1, nil, func(head ast.Atom) error {
-				added, err := ctx.insertFact(ctx.store, head)
-				if err != nil {
-					return err
-				}
-				if added {
-					ctx.stats.NewFacts++
-					if _, err := ctx.insertFact(delta, head); err != nil {
-						return err
-					}
-				}
-				return ctx.checkFactLimit()
-			})
-			if err != nil {
+			if err := ctx.fireRule(ri, -1, nil, delta, nil); err != nil {
 				return ctx.finish(err)
 			}
 		}
@@ -382,10 +456,9 @@ func (e *semiNaiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*dat
 			rounds++
 			ctx.stats.Iterations++
 			if e.opts.MaxIterations > 0 && rounds > e.opts.MaxIterations {
-				ctx.addDiscardedIndexStats(delta)
 				return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, e.opts.MaxIterations))
 			}
-			next := database.NewStore()
+			next.Reset()
 			for _, ri := range comp.Rules {
 				r := p.Rules[ri]
 				for _, pos := range comp.DeltaPositions[ri] {
@@ -394,29 +467,12 @@ func (e *semiNaiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*dat
 						continue
 					}
 					ctx.stats.DeltaRuleEvals++
-					err := ctx.ruleEval(ri, r, pos, delta, func(head ast.Atom) error {
-						added, err := ctx.insertFact(ctx.store, head)
-						if err != nil {
-							return err
-						}
-						if added {
-							ctx.stats.NewFacts++
-							if _, err := ctx.insertFact(next, head); err != nil {
-								return err
-							}
-						}
-						return ctx.checkFactLimit()
-					})
-					if err != nil {
-						ctx.addDiscardedIndexStats(delta)
+					if err := ctx.fireRule(ri, pos, delta, next, nil); err != nil {
 						return ctx.finish(err)
 					}
 				}
 			}
-			// The per-round delta stores are discarded; fold their index
-			// counters in so Stats reflects delta-side probes too.
-			ctx.addDiscardedIndexStats(delta)
-			delta = next
+			delta, next = next, delta
 		}
 	}
 	return ctx.finish(nil)

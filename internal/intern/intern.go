@@ -1,19 +1,24 @@
-// Package intern maintains a symbol table mapping ground terms to dense
+// Package intern maintains symbol tables mapping ground terms to dense
 // uint32 IDs. The fact store (internal/database) keeps every tuple as a
 // slice of IDs, so duplicate detection and bound-column index probes hash a
 // few machine words instead of building and comparing canonical key strings.
 //
-// The table is process-wide and append-only: a term, once interned, keeps
-// its ID for the lifetime of the process, so IDs are comparable across
-// relations, stores and store clones. Access is guarded by a read-write
-// mutex; the steady-state path (re-interning an already known term) takes
-// only the read lock.
+// A Table is append-only: a term, once interned, keeps its ID for the
+// table's lifetime. IDs are comparable only within one table — since PR 2
+// every database.Store owns its own table (shared by its clones and the
+// evaluator's delta stores), so IDs must never be moved between relations
+// of unrelated stores, or between a store relation and a standalone
+// relation using the package-level default table (Global). Access is
+// guarded by a read-write mutex; the steady-state path (re-interning an
+// already known term) takes only the read lock, and the evaluator's hot
+// loop reads ID metadata lock-free through a Reader snapshot.
 package intern
 
 import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 )
@@ -22,6 +27,15 @@ import (
 // grow by 1 per distinct term.
 type ID uint32
 
+// compParts is the ID-level decomposition of an interned compound term:
+// its functor and the IDs of its (already interned) arguments. The compiled
+// join pipelines of internal/eval destructure stored compounds through this
+// record instead of re-walking the materialized term.
+type compParts struct {
+	functor string
+	args    []ID
+}
+
 // Table interns ground terms. The zero value is not usable; use NewTable.
 type Table struct {
 	mu    sync.RWMutex
@@ -29,7 +43,27 @@ type Table struct {
 	ints  map[int64]ID
 	comps map[string]ID // functor + NUL + little-endian argument IDs
 	terms []ast.Term
+	// kinds, intVals and parts are parallel to terms and give O(1) ID-level
+	// access without re-inspecting the materialized term: kinds[id] is one of
+	// kindSym/kindInt/kindComp, intVals[id] is the value of an integer ID,
+	// and parts[id] the decomposition of a compound ID.
+	kinds   []byte
+	intVals []int64
+	parts   []compParts
+	// hasArith is set once any interpreted-arithmetic compound ("+"/"*" of
+	// two arguments) is interned. While it is false — the overwhelmingly
+	// common case — the compiled pipelines can skip arithmetic
+	// normalization of register values entirely, because no stored ID can
+	// denote a foldable term.
+	hasArith atomic.Bool
 }
+
+// Term kinds recorded in Table.kinds.
+const (
+	kindSym byte = iota
+	kindInt
+	kindComp
+)
 
 // NewTable returns an empty symbol table.
 func NewTable() *Table {
@@ -93,9 +127,8 @@ func (tb *Table) intern(t ast.Term) ID {
 		if id, ok := tb.syms[x.Name]; ok {
 			return id
 		}
-		id := ID(len(tb.terms))
+		id := tb.appendTerm(x, kindSym, 0, compParts{})
 		tb.syms[x.Name] = id
-		tb.terms = append(tb.terms, x)
 		return id
 	case ast.Int:
 		tb.mu.Lock()
@@ -103,9 +136,8 @@ func (tb *Table) intern(t ast.Term) ID {
 		if id, ok := tb.ints[x.Value]; ok {
 			return id
 		}
-		id := ID(len(tb.terms))
+		id := tb.appendTerm(x, kindInt, x.Value, compParts{})
 		tb.ints[x.Value] = id
-		tb.terms = append(tb.terms, x)
 		return id
 	case ast.Compound:
 		args := make([]ID, len(x.Args))
@@ -118,13 +150,122 @@ func (tb *Table) intern(t ast.Term) ID {
 		if id, ok := tb.comps[key]; ok {
 			return id
 		}
-		id := ID(len(tb.terms))
+		id := tb.appendTerm(x, kindComp, 0, compParts{functor: x.Functor, args: args})
 		tb.comps[key] = id
-		tb.terms = append(tb.terms, x)
 		return id
 	default:
 		panic(fmt.Sprintf("intern: cannot intern non-ground term %v", t))
 	}
+}
+
+// appendTerm records a fresh term and its ID-level metadata. Callers hold
+// the write lock.
+func (tb *Table) appendTerm(t ast.Term, kind byte, intVal int64, parts compParts) ID {
+	id := ID(len(tb.terms))
+	tb.terms = append(tb.terms, t)
+	tb.kinds = append(tb.kinds, kind)
+	tb.intVals = append(tb.intVals, intVal)
+	tb.parts = append(tb.parts, parts)
+	if kind == kindComp && len(parts.args) == 2 &&
+		(parts.functor == ast.FunctorAdd || parts.functor == ast.FunctorMul) {
+		tb.hasArith.Store(true)
+	}
+	return id
+}
+
+// HasArith reports whether any interpreted-arithmetic compound has been
+// interned into the table. A false result guarantees no stored ID denotes a
+// term that arithmetic normalization could change.
+func (tb *Table) HasArith() bool { return tb.hasArith.Load() }
+
+// IntValue returns the integer value of an interned ID and whether the ID
+// denotes an integer constant at all. It is the ID-level counterpart of a
+// type assertion on ast.Int and is used by the compiled pipelines to
+// evaluate interpreted arithmetic without materializing terms.
+func (tb *Table) IntValue(id ID) (int64, bool) {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	if tb.kinds[id] != kindInt {
+		return 0, false
+	}
+	return tb.intVals[id], true
+}
+
+// CompoundParts returns the functor and argument IDs of an interned compound
+// term, or ok=false when the ID denotes a constant. The returned slice is
+// owned by the table and must not be modified.
+func (tb *Table) CompoundParts(id ID) (functor string, args []ID, ok bool) {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	if tb.kinds[id] != kindComp {
+		return "", nil, false
+	}
+	p := tb.parts[id]
+	return p.functor, p.args, true
+}
+
+// InternInt interns an integer value directly, without constructing an
+// ast.Int on the lookup path.
+func (tb *Table) InternInt(v int64) ID {
+	tb.mu.RLock()
+	id, ok := tb.ints[v]
+	tb.mu.RUnlock()
+	if ok {
+		return id
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if id, ok := tb.ints[v]; ok {
+		return id
+	}
+	id = tb.appendTerm(ast.Int{Value: v}, kindInt, v, compParts{})
+	tb.ints[v] = id
+	return id
+}
+
+// FindInt looks up an integer value without interning it; a false result
+// means no stored tuple can contain the integer.
+func (tb *Table) FindInt(v int64) (ID, bool) {
+	tb.mu.RLock()
+	id, ok := tb.ints[v]
+	tb.mu.RUnlock()
+	return id, ok
+}
+
+// FindCompound looks up the compound term functor(args...) given the IDs of
+// its arguments, without interning it.
+func (tb *Table) FindCompound(functor string, args []ID) (ID, bool) {
+	key := compKey(functor, args)
+	tb.mu.RLock()
+	id, ok := tb.comps[key]
+	tb.mu.RUnlock()
+	return id, ok
+}
+
+// InternCompound interns the compound term functor(args...) from the IDs of
+// its already interned arguments, materializing the term only when the
+// compound is new.
+func (tb *Table) InternCompound(functor string, args []ID) ID {
+	key := compKey(functor, args)
+	tb.mu.RLock()
+	id, ok := tb.comps[key]
+	tb.mu.RUnlock()
+	if ok {
+		return id
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if id, ok := tb.comps[key]; ok {
+		return id
+	}
+	argTerms := make([]ast.Term, len(args))
+	for i, a := range args {
+		argTerms[i] = tb.terms[a]
+	}
+	argsCopy := append([]ID(nil), args...)
+	id = tb.appendTerm(ast.Compound{Functor: functor, Args: argTerms}, kindComp, 0, compParts{functor: functor, args: argsCopy})
+	tb.comps[key] = id
+	return id
 }
 
 // Find returns the ID of the term if it has been interned. Unlike Intern it
@@ -167,6 +308,87 @@ func (tb *Table) Term(id ID) ast.Term {
 	tb.mu.RLock()
 	defer tb.mu.RUnlock()
 	return tb.terms[id]
+}
+
+// Reader is a lock-free read view of a table's ID metadata for hot loops.
+// It snapshots the append-only metadata slices; elements below the snapshot
+// length are immutable, so reading them is safe without the table lock even
+// while other goroutines intern new terms (appends may reallocate the
+// backing arrays, but the snapshot keeps the old, fully initialized one).
+// An ID minted after the snapshot transparently refreshes it under the
+// lock. Lookups that need the table's maps (FindInt, FindCompound) and all
+// interning still delegate to the locked table.
+type Reader struct {
+	tb      *Table
+	kinds   []byte
+	intVals []int64
+	parts   []compParts
+	terms   []ast.Term
+}
+
+// Reader returns a read view of the table's current contents.
+func (tb *Table) Reader() Reader {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return Reader{tb: tb, kinds: tb.kinds, intVals: tb.intVals, parts: tb.parts, terms: tb.terms}
+}
+
+// Table returns the underlying table.
+func (r *Reader) Table() *Table { return r.tb }
+
+// refresh re-snapshots the view so it covers the given ID.
+func (r *Reader) refresh() {
+	*r = r.tb.Reader()
+}
+
+// IntValue is Table.IntValue without the lock.
+func (r *Reader) IntValue(id ID) (int64, bool) {
+	if int(id) >= len(r.kinds) {
+		r.refresh()
+	}
+	if r.kinds[id] != kindInt {
+		return 0, false
+	}
+	return r.intVals[id], true
+}
+
+// CompoundParts is Table.CompoundParts without the lock.
+func (r *Reader) CompoundParts(id ID) (functor string, args []ID, ok bool) {
+	if int(id) >= len(r.kinds) {
+		r.refresh()
+	}
+	if r.kinds[id] != kindComp {
+		return "", nil, false
+	}
+	p := r.parts[id]
+	return p.functor, p.args, true
+}
+
+// Term is Table.Term without the lock.
+func (r *Reader) Term(id ID) ast.Term {
+	if int(id) >= len(r.terms) {
+		r.refresh()
+	}
+	return r.terms[id]
+}
+
+// HasArith delegates to the table.
+func (r *Reader) HasArith() bool { return r.tb.HasArith() }
+
+// InternInt delegates to the table.
+func (r *Reader) InternInt(v int64) ID { return r.tb.InternInt(v) }
+
+// FindInt delegates to the table.
+func (r *Reader) FindInt(v int64) (ID, bool) { return r.tb.FindInt(v) }
+
+// InternCompound delegates to the table.
+func (r *Reader) InternCompound(functor string, args []ID) ID {
+	return r.tb.InternCompound(functor, args)
+}
+
+// FindCompound delegates to the table.
+func (r *Reader) FindCompound(functor string, args []ID) (ID, bool) {
+	return r.tb.FindCompound(functor, args)
 }
 
 // Len returns the number of distinct terms interned so far.

@@ -39,55 +39,10 @@ func (greedyBoundFirst) SipFor(rule ast.Rule, headAdornment ast.Adornment, deriv
 	chosen := []int{}
 	used := make([]bool, len(rule.Body))
 
-	// score returns the number of arguments of the literal fully covered by
-	// the available variables, with ground arguments counting as covered.
-	score := func(lit ast.Atom) int {
-		n := 0
-		for _, arg := range lit.Args {
-			vars := ast.Vars(arg, nil)
-			if len(vars) == 0 {
-				if ast.IsGround(arg) {
-					n++
-				}
-				continue
-			}
-			all := true
-			for _, v := range vars {
-				if !available[v] {
-					all = false
-					break
-				}
-			}
-			if all {
-				n++
-			}
-		}
-		return n
-	}
-
 	for len(chosen) < len(rule.Body) {
-		best := -1
-		bestScore := -1
-		bestIsBase := false
-		for i, lit := range rule.Body {
-			if used[i] {
-				continue
-			}
-			s := score(lit)
-			isBase := !derived[lit.PredKey()]
-			better := false
-			switch {
-			case s > bestScore:
-				better = true
-			case s == bestScore && isBase && !bestIsBase:
-				// Prefer base literals: they are directly evaluable and feed
-				// bindings to the derived ones.
-				better = true
-			}
-			if better {
-				best, bestScore, bestIsBase = i, s, isBase
-			}
-		}
+		// The scoring and selection live in order.go (greedyPick), shared
+		// with the join-pipeline compiler of internal/eval.
+		best := greedyPick(rule.Body, used, available, derived)
 
 		lit := rule.Body[best]
 		if derived[lit.PredKey()] {

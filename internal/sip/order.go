@@ -1,0 +1,92 @@
+package sip
+
+import "repro/internal/ast"
+
+// coverScore returns the number of arguments of the literal fully covered by
+// the available variables, with ground arguments counting as covered. It is
+// the scoring function of the greedy bound-first heuristic, shared between
+// the sip strategy (GreedyBoundFirst) and the join-pipeline compiler of
+// internal/eval.
+func coverScore(lit ast.Atom, available map[string]bool) int {
+	n := 0
+	for _, arg := range lit.Args {
+		vars := ast.Vars(arg, nil)
+		if len(vars) == 0 {
+			if ast.IsGround(arg) {
+				n++
+			}
+			continue
+		}
+		all := true
+		for _, v := range vars {
+			if !available[v] {
+				all = false
+				break
+			}
+		}
+		if all {
+			n++
+		}
+	}
+	return n
+}
+
+// greedyPick returns the unused body position with the highest cover score,
+// preferring base literals among equals and, among those, the textual order.
+// It returns -1 when every position is used.
+func greedyPick(body []ast.Atom, used []bool, available map[string]bool, derived map[string]bool) int {
+	best := -1
+	bestScore := -1
+	bestIsBase := false
+	for i, lit := range body {
+		if used[i] {
+			continue
+		}
+		s := coverScore(lit, available)
+		isBase := !derived[lit.PredKey()]
+		better := false
+		switch {
+		case s > bestScore:
+			better = true
+		case s == bestScore && isBase && !bestIsBase:
+			// Prefer base literals: they are directly evaluable and feed
+			// bindings to the derived ones.
+			better = true
+		}
+		if better {
+			best, bestScore, bestIsBase = i, s, isBase
+		}
+	}
+	return best
+}
+
+// GreedyOrder returns an evaluation order over the body positions chosen by
+// the greedy bound-variables-first heuristic: starting from the variables in
+// bound, repeatedly pick the literal with the most arguments fully covered
+// by the variables available so far (ground arguments count as covered),
+// preferring base literals and, among equals, the textual order. If first is
+// a valid body position, that literal is forced to the front of the order —
+// the semi-naive evaluator uses this to drive a join from the delta
+// occurrence. The bound map is not modified.
+func GreedyOrder(body []ast.Atom, bound map[string]bool, derived map[string]bool, first int) []int {
+	available := make(map[string]bool, len(bound))
+	for v := range bound {
+		available[v] = true
+	}
+	order := make([]int, 0, len(body))
+	used := make([]bool, len(body))
+	take := func(i int) {
+		used[i] = true
+		order = append(order, i)
+		for _, v := range ast.AtomVars(body[i], nil) {
+			available[v] = true
+		}
+	}
+	if first >= 0 && first < len(body) {
+		take(first)
+	}
+	for len(order) < len(body) {
+		take(greedyPick(body, used, available, derived))
+	}
+	return order
+}
