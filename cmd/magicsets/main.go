@@ -6,12 +6,19 @@
 //	magicsets -program prog.dl [-facts facts.dl] -query "anc(john, Y)" \
 //	          [-strategy magic] [-sip full] [-semijoin] \
 //	          [-show-rewrite] [-show-safety] [-stats] \
-//	          [-max-iterations N] [-max-facts N]
+//	          [-max-iterations N] [-max-facts N] [-max-derivations N] \
+//	          [-repeat N]
 //
 // The program file contains rules (and optionally facts); the facts file
 // contains ground facts only. The query is a single atom whose constant
 // arguments are the bound positions. Answers are printed one per line as
 // tuples of the query's free variables.
+//
+// With -repeat N (N > 1) the query is prepared once and run N times
+// through the prepared-query serving layer, and the amortized per-run time
+// is reported: the adorn/rewrite/compile work happens on the first run
+// only, so this flag demonstrates the prepare-once/run-many cost profile
+// of the engine.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/datalog"
 )
@@ -46,6 +54,8 @@ func run(args []string, out io.Writer) error {
 	showStats := fs.Bool("stats", false, "print evaluation statistics")
 	maxIterations := fs.Int("max-iterations", 0, "bound the number of bottom-up iterations (0 = unlimited)")
 	maxFacts := fs.Int("max-facts", 0, "bound the number of derived facts (0 = unlimited)")
+	maxDerivations := fs.Int64("max-derivations", 0, "bound the number of rule firings (0 = unlimited)")
+	repeat := fs.Int("repeat", 1, "prepare the query once and run it N times, reporting the amortized per-run time")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,18 +87,36 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	opts := datalog.Options{
-		Strategy:      strat,
-		Sip:           datalog.SipPolicy(*sipPolicy),
-		Semijoin:      *semijoin,
-		KeepAllGuards: *keepGuards,
-		Simplify:      *simplify,
-		MaxIterations: *maxIterations,
-		MaxFacts:      *maxFacts,
+		Strategy:       strat,
+		Sip:            datalog.SipPolicy(*sipPolicy),
+		Semijoin:       *semijoin,
+		KeepAllGuards:  *keepGuards,
+		Simplify:       *simplify,
+		MaxIterations:  *maxIterations,
+		MaxFacts:       *maxFacts,
+		MaxDerivations: *maxDerivations,
 	}
 
-	res, err := eng.Query(*query, opts)
-	if err != nil {
-		return err
+	var res *datalog.Result
+	if *repeat > 1 {
+		pq, err := eng.Prepare(*query, opts)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < *repeat; i++ {
+			if res, err = pq.Run(); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		fmt.Fprintf(out, "%% prepared once, ran %d times: %.1f µs/run (%.2f ms total)\n",
+			*repeat, float64(elapsed.Microseconds())/float64(*repeat), float64(elapsed.Microseconds())/1000)
+	} else {
+		var err error
+		if res, err = eng.Query(*query, opts); err != nil {
+			return err
+		}
 	}
 
 	if *showRewrite && res.RewrittenProgram != "" {

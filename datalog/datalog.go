@@ -25,12 +25,35 @@
 // generalized magic-sets, supplementary magic-sets, counting and
 // supplementary counting rewritings, with full or partial left-to-right sips
 // and the optional semijoin optimization of the counting methods.
+//
+// # Prepare once, run many
+//
+// The rewriting depends only on the query *form* — the predicate and its
+// binding pattern — while the constants occur only in the seed facts and
+// the answer selection. A server answering many point queries of the same
+// shape should therefore prepare the form once and run it per request:
+//
+//	pq, err := eng.Prepare("anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets})
+//	if err != nil { ... }
+//	res, _ := pq.Run()            // the prepared constants: anc(john, Y)
+//	res, _ = pq.Run("mary")       // same compiled form, new constant: anc(mary, Y)
+//
+// Parse, adornment, rewriting and the compilation of the bottom-up join
+// pipelines all happen in Prepare; each Run only parameterizes the seeds
+// and evaluates against a copy-on-write overlay of the engine's store, so
+// no call copies the extensional database. Engine.Query uses the same
+// machinery through a transparent per-engine cache keyed by query form
+// (Stats.PlanCacheHit reports a hit), so even one-shot callers pay the
+// per-form work once. Engines, queries and prepared runs are safe for
+// concurrent use; Assert is serialized against in-flight evaluations and
+// becomes visible to the next Run without invalidating prepared forms.
 package datalog
 
 import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/adorn"
 	"repro/internal/ast"
@@ -203,6 +226,13 @@ type Stats struct {
 	// ratio shows how often evaluation could drive a join through an index.
 	OpProbes int64
 	OpScans  int64
+	// PlanCacheHit reports that the evaluation reused a previously prepared
+	// query form (an explicit PreparedQuery, or Engine.Query hitting its
+	// internal form cache): adornment, rewriting and plan analysis were all
+	// skipped (Engine.Query still parses the query text per call; only
+	// PreparedQuery.Run skips parsing too), and CompiledPlans counts only
+	// pipelines compiled fresh during this run — 0 once the form is warm.
+	PlanCacheHit bool
 }
 
 // TotalFacts returns DerivedFacts + AuxFacts.
@@ -251,10 +281,22 @@ type SafetyReport struct {
 	CountingDivergesOnAllData bool
 }
 
-// Engine holds a program and a database of facts, and answers queries.
+// Engine holds a program and a database of facts, and answers queries. An
+// Engine is safe for concurrent use: queries (one-shot or prepared) run
+// under a read lock against the live store, and Assert/AssertText take the
+// write lock, so asserts are serialized against in-flight evaluations. The
+// prepared query forms survive asserts unchanged — only the data they read
+// moves forward.
 type Engine struct {
 	program *ast.Program
 	store   *database.Store
+	// mu guards the store: evaluations hold the read lock for their whole
+	// duration (they share the store's relations copy-on-write), asserts
+	// the write lock.
+	mu sync.RWMutex
+	// plans caches prepared query forms (see Prepare), keyed by predicate,
+	// binding pattern, strategy and sip policy.
+	plans *planCache
 }
 
 // NewEngine parses a program (rules only; facts are added separately with
@@ -267,7 +309,7 @@ func NewEngine(programSrc string) (*Engine, error) {
 	if len(unit.Queries) > 0 {
 		return nil, fmt.Errorf("datalog: the program text contains a query; pass queries to Engine.Query instead")
 	}
-	eng := &Engine{program: unit.Program(), store: database.NewStore()}
+	eng := &Engine{program: unit.Program(), store: database.NewStore(), plans: newPlanCache()}
 	if err := eng.store.AddFacts(unit.Facts); err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
@@ -286,31 +328,30 @@ func (e *Engine) AssertText(factsSrc string) error {
 	if len(unit.Rules) > 0 || len(unit.Queries) > 0 {
 		return fmt.Errorf("datalog: AssertText accepts facts only")
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.store.AddFacts(unit.Facts)
 }
 
 // Assert adds a single ground fact given as predicate name and constant
 // arguments (strings become symbolic constants, int64/int become integers).
 func (e *Engine) Assert(pred string, args ...any) error {
-	terms := make([]ast.Term, len(args))
-	for i, a := range args {
-		switch v := a.(type) {
-		case string:
-			terms[i] = ast.S(v)
-		case int:
-			terms[i] = ast.I(int64(v))
-		case int64:
-			terms[i] = ast.I(v)
-		default:
-			return fmt.Errorf("datalog: unsupported argument type %T", a)
-		}
+	terms, err := constantTerms(args)
+	if err != nil {
+		return err
 	}
-	_, err := e.store.AddFact(ast.NewAtom(pred, terms...))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err = e.store.AddFact(ast.NewAtom(pred, terms...))
 	return err
 }
 
 // FactCount returns the number of facts currently stored for a predicate.
-func (e *Engine) FactCount(pred string) int { return e.store.FactCount(pred) }
+func (e *Engine) FactCount(pred string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.FactCount(pred)
+}
 
 // ProgramText returns the engine's program in source syntax.
 func (e *Engine) ProgramText() string { return e.program.String() }
@@ -350,24 +391,22 @@ func rewriter(opts Options) (rewrite.Rewriter, error) {
 }
 
 // Query evaluates a query such as "anc(john, Y)" with the given options.
+// Internally it runs through the engine's prepared-form cache: the first
+// query of a form pays for parse → adorn → rewrite → compile, repeat
+// queries of the same form (same predicate, binding pattern, strategy and
+// sip — the constants may differ) reuse the cached preparation and only
+// evaluate. Stats.PlanCacheHit reports which case a result was.
 func (e *Engine) Query(querySrc string, opts Options) (*Result, error) {
 	q, err := parser.ParseQuery(querySrc)
 	if err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
-	if opts.Strategy == "" {
-		opts.Strategy = MagicSets
+	normalizeOptions(&opts)
+	pq, hit, err := e.preparedFor(q, opts)
+	if err != nil {
+		return nil, err
 	}
-	switch opts.Strategy {
-	case Naive, SemiNaive:
-		return e.evaluateDirect(q, opts)
-	case TopDown:
-		return e.evaluateTopDown(q, opts)
-	case MagicSets, SupplementaryMagicSets, Counting, SupplementaryCounting:
-		return e.evaluateRewritten(q, opts)
-	default:
-		return nil, fmt.Errorf("datalog: unknown strategy %q", opts.Strategy)
-	}
+	return pq.run(q.BoundConstants(), opts, hit)
 }
 
 // Rewrite returns the rewritten program (and its seeds) for a query without
@@ -456,114 +495,6 @@ func (e *Engine) evalOptions(opts Options) eval.Options {
 		MaxFacts:       opts.MaxFacts,
 		MaxDerivations: opts.MaxDerivations,
 	}
-}
-
-// evaluateDirect runs the unrewritten program bottom-up and selects the
-// answers.
-func (e *Engine) evaluateDirect(q ast.Query, opts Options) (*Result, error) {
-	var ev eval.Evaluator
-	if opts.Strategy == Naive {
-		ev = eval.Naive(e.evalOptions(opts))
-	} else {
-		ev = eval.SemiNaive(e.evalOptions(opts))
-	}
-	store, stats, err := ev.Evaluate(e.program, e.store)
-	res := &Result{}
-	res.Stats.Strategy = opts.Strategy
-	fillEvalStats(&res.Stats, stats)
-	if store != nil {
-		for key := range e.program.DerivedPredicates() {
-			res.Stats.DerivedFacts += store.FactCount(key)
-		}
-		res.Answers = renderAnswers(eval.Answers(store, q.Atom.PredKey(), q.Atom))
-	}
-	if err != nil {
-		return res, wrapLimit(err)
-	}
-	return res, nil
-}
-
-// evaluateTopDown runs the memoizing top-down reference strategy.
-func (e *Engine) evaluateTopDown(q ast.Query, opts Options) (*Result, error) {
-	ad, err := e.adorn(q, opts)
-	if err != nil {
-		return nil, err
-	}
-	tdOpts := topdown.Options{MaxGoals: opts.MaxFacts, MaxAnswers: opts.MaxFacts, MaxPasses: opts.MaxIterations}
-	tres, err := topdown.Evaluate(ad, e.store, tdOpts)
-	res := &Result{Safety: publicSafety(safety.Analyze(ad))}
-	res.Stats.Strategy = opts.Strategy
-	res.Stats.Sip = opts.Sip
-	if res.Stats.Sip == "" {
-		res.Stats.Sip = SipFull
-	}
-	if tres != nil {
-		res.Answers = renderAnswers(tres.Answers)
-		res.Stats.DerivedFacts = tres.Stats.Answers
-		res.Stats.AuxFacts = tres.Stats.Queries
-		res.Stats.Derivations = tres.Stats.Derivations
-		res.Stats.Iterations = tres.Stats.Passes
-	}
-	if err != nil {
-		return res, wrapLimit(err)
-	}
-	return res, nil
-}
-
-// evaluateRewritten adorns, rewrites, evaluates bottom-up and selects the
-// answers.
-func (e *Engine) evaluateRewritten(q ast.Query, opts Options) (*Result, error) {
-	rw, err := rewriter(opts)
-	if err != nil {
-		return nil, err
-	}
-	ad, err := e.adorn(q, opts)
-	if err != nil {
-		return nil, err
-	}
-	rewriting, err := rw.Rewrite(ad)
-	if err != nil {
-		return nil, fmt.Errorf("datalog: %w", err)
-	}
-	if opts.Simplify {
-		rewrite.Simplify(rewriting)
-	}
-	db := e.store.Clone()
-	for _, seed := range rewriting.Seeds {
-		if _, err := db.AddFact(seed); err != nil {
-			return nil, fmt.Errorf("datalog: %w", err)
-		}
-	}
-	store, stats, evalErr := eval.SemiNaive(e.evalOptions(opts)).Evaluate(rewriting.Program, db)
-
-	res := &Result{
-		RewrittenProgram: rewriting.Program.String(),
-		Safety:           publicSafety(safety.Analyze(ad)),
-	}
-	res.Stats.Strategy = opts.Strategy
-	res.Stats.Sip = opts.Sip
-	if res.Stats.Sip == "" {
-		res.Stats.Sip = SipFull
-	}
-	res.Stats.RewrittenRules = len(rewriting.Program.Rules)
-	for _, s := range rewriting.Seeds {
-		res.Seeds = append(res.Seeds, s.String())
-	}
-	fillEvalStats(&res.Stats, stats)
-	if store != nil {
-		for key := range rewriting.Program.DerivedPredicates() {
-			if rewriting.AuxPredicates[key] {
-				res.Stats.AuxFacts += store.FactCount(key)
-			} else {
-				res.Stats.DerivedFacts += store.FactCount(key)
-			}
-		}
-		res.Answers = renderAnswers(eval.Answers(store, rewriting.AnswerPred, rewriting.AnswerPattern))
-	}
-	if evalErr != nil {
-		return res, wrapLimit(evalErr)
-	}
-	return res, nil
 }
 
 // fillEvalStats copies the bottom-up evaluator's statistics into the public

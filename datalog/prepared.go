@@ -1,0 +1,499 @@
+// Prepared queries: the serving layer of the engine.
+//
+// The paper's division of labor is that adornment and rewriting happen once
+// per query *form* — a predicate plus a binding pattern — while evaluation
+// cost varies with the data and the bound constants. PreparedQuery is that
+// division made operational: Engine.Prepare runs parse → adorn → rewrite →
+// simplify → compile exactly once and keeps the result; PreparedQuery.Run
+// re-instantiates only the seed facts and the answer selection for each
+// call's constants and evaluates the precompiled pipelines against a
+// copy-on-write overlay of the engine's store. Engine.Query uses the same
+// machinery transparently through a per-engine LRU keyed by query form.
+package datalog
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/rewrite"
+	"repro/internal/safety"
+	"repro/internal/topdown"
+)
+
+// preparedForm holds the per-form artifacts shared by every PreparedQuery
+// handle of one query form: everything that depends only on the predicate,
+// the binding pattern and the form-shaping options — never on a particular
+// call's constants or runtime limits.
+type preparedForm struct {
+	adorned        *adorn.Program     // top-down and rewriting strategies
+	rewriting      *rewrite.Rewriting // rewriting strategies
+	prepared       *eval.Prepared     // bottom-up strategies (original or rewritten program)
+	safety         *SafetyReport
+	rewrittenSrc   string
+	rewrittenRules int
+	// derivedKeys/auxKeys split the evaluated program's derived predicates
+	// for the per-run fact counting (aux = the rewriting's magic/sup/cnt
+	// predicates), precomputed so Run does not re-walk the program.
+	derivedKeys []string
+	auxKeys     []string
+}
+
+// PreparedQuery is a query form compiled once for repeated evaluation: the
+// adorned program, the rewriting, and the bottom-up join pipelines are
+// built at Prepare time and shared by every Run — including concurrent
+// ones — while each Run supplies its own bound constants and sees the
+// engine's current facts. The handle itself additionally carries the
+// constants of the prepared query text (the defaults of Run()) and the
+// caller's runtime limits, so two Prepare calls sharing a form still run
+// with their own constants and limits.
+type PreparedQuery struct {
+	eng  *Engine
+	opts Options
+	// atom is the parsed query atom; its ground arguments are the default
+	// bound constants of Run().
+	atom ast.Atom
+	// boundPos lists the positions of the atom's ground arguments, in
+	// order; Run's arguments replace them positionally.
+	boundPos []int
+	// form is the shared per-form preparation (cached on the engine).
+	form *preparedForm
+}
+
+// Prepare compiles a query form once — parse, adorn, rewrite, simplify and
+// the bottom-up plan analysis all happen here — so that Run only evaluates.
+// The form is keyed by predicate, binding pattern, strategy and sip policy
+// and cached on the engine, so preparing the same form twice returns the
+// cached preparation. The query's constants become the default arguments of
+// Run; runs with different constants reuse the same compiled form, because
+// the rewritten program depends only on the form (the constants occur only
+// in the seed facts and the answer selection).
+func (e *Engine) Prepare(querySrc string, opts Options) (*PreparedQuery, error) {
+	q, err := parser.ParseQuery(querySrc)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	normalizeOptions(&opts)
+	pq, _, err := e.preparedFor(q, opts)
+	return pq, err
+}
+
+// normalizeOptions resolves the zero values of the form-shaping options to
+// their documented defaults, so equivalent option sets share one cached
+// form ({} and {Strategy: MagicSets, Sip: SipFull} are the same form).
+func normalizeOptions(opts *Options) {
+	if opts.Strategy == "" {
+		opts.Strategy = MagicSets
+	}
+	if opts.Sip == "" {
+		opts.Sip = SipFull
+	}
+}
+
+// Run evaluates the prepared query against the engine's current facts.
+// With no arguments the constants of the prepared query text are used; with
+// arguments, they replace the query's bound constants positionally (strings
+// become symbolic constants, int/int64 become integers, exactly as in
+// Engine.Assert). Run is safe for concurrent use, also with other prepared
+// queries and with Engine.Query; Engine.Assert blocks until in-flight runs
+// finish and vice versa.
+func (pq *PreparedQuery) Run(args ...any) (*Result, error) {
+	bound := pq.boundConstants()
+	if len(args) > 0 {
+		terms, err := constantTerms(args)
+		if err != nil {
+			return nil, err
+		}
+		if len(terms) != len(pq.boundPos) {
+			return nil, fmt.Errorf("datalog: query form %s has %d bound argument(s), got %d",
+				pq.atom.Pred, len(pq.boundPos), len(terms))
+		}
+		bound = terms
+	}
+	return pq.run(bound, pq.opts, true)
+}
+
+// boundConstants returns the ground arguments of the prepared query atom.
+func (pq *PreparedQuery) boundConstants() []ast.Term {
+	out := make([]ast.Term, len(pq.boundPos))
+	for k, pos := range pq.boundPos {
+		out[k] = pq.atom.Args[pos]
+	}
+	return out
+}
+
+// atomWith returns the query atom with the bound positions replaced by the
+// given constants.
+func (pq *PreparedQuery) atomWith(bound []ast.Term) ast.Atom {
+	args := append([]ast.Term(nil), pq.atom.Args...)
+	for k, pos := range pq.boundPos {
+		args[pos] = bound[k]
+	}
+	return ast.Atom{Pred: pq.atom.Pred, Adorn: pq.atom.Adorn, Args: args}
+}
+
+// constantTerms converts Assert/Run-style constant arguments to terms.
+func constantTerms(args []any) ([]ast.Term, error) {
+	terms := make([]ast.Term, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case string:
+			terms[i] = ast.S(v)
+		case int:
+			terms[i] = ast.I(int64(v))
+		case int64:
+			terms[i] = ast.I(v)
+		default:
+			return nil, fmt.Errorf("datalog: unsupported argument type %T", a)
+		}
+	}
+	return terms, nil
+}
+
+// formKey encodes the query form — everything that determines the prepared
+// artifacts: evaluation options that shape the rewriting, the predicate and
+// the binding pattern. The constants themselves are deliberately absent:
+// forms differing only in constants share one preparation. The direct
+// strategies prepare the whole unrewritten program, which is independent of
+// the query entirely, so their forms are keyed by strategy alone and every
+// direct query shares one preparation.
+func formKey(q ast.Query, opts Options) string {
+	if opts.Strategy == Naive || opts.Strategy == SemiNaive {
+		return string(opts.Strategy) + "|direct"
+	}
+	var b strings.Builder
+	b.WriteString(string(opts.Strategy))
+	b.WriteByte('|')
+	b.WriteString(string(opts.Sip))
+	b.WriteByte('|')
+	if opts.Semijoin {
+		b.WriteByte('j')
+	}
+	if opts.KeepAllGuards {
+		b.WriteByte('g')
+	}
+	if opts.Simplify {
+		b.WriteByte('s')
+	}
+	b.WriteByte('|')
+	b.WriteString(q.Atom.Pred)
+	b.WriteByte('/')
+	for _, arg := range q.Atom.Args {
+		if ast.IsGround(arg) {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return b.String()
+}
+
+// planCacheCap bounds the number of prepared query forms the engine keeps;
+// beyond it the least recently used form is evicted (a workload usually has
+// few forms, so the cap only guards against unbounded ad-hoc query shapes).
+const planCacheCap = 128
+
+// planCache is the engine's LRU of prepared query forms, with a
+// single-flight on cold misses: concurrent first queries of one form share
+// a single build instead of each paying the full
+// parse/adorn/rewrite/compile pipeline.
+type planCache struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	building map[string]*buildSlot
+}
+
+type cacheEntry struct {
+	key  string
+	form *preparedForm
+}
+
+// buildSlot is one in-flight form build; losers of the insert race wait on
+// the winner's once instead of rebuilding.
+type buildSlot struct {
+	once sync.Once
+	form *preparedForm
+	err  error
+}
+
+func newPlanCache() *planCache {
+	return &planCache{
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		building: make(map[string]*buildSlot),
+	}
+}
+
+// getOrBuild returns the cached form for key, or runs build exactly once
+// (across concurrent callers) and caches its result. hit reports whether
+// this caller reused an existing or in-flight preparation rather than
+// performing the build itself. Failed builds are not cached: the next
+// caller wave retries.
+func (c *planCache) getOrBuild(key string, build func() (*preparedForm, error)) (form *preparedForm, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		return el.Value.(*cacheEntry).form, true, nil
+	}
+	slot, waiting := c.building[key]
+	if !waiting {
+		slot = &buildSlot{}
+		c.building[key] = slot
+	}
+	c.mu.Unlock()
+
+	slot.once.Do(func() { slot.form, slot.err = build() })
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.building[key] == slot {
+		delete(c.building, key)
+		if slot.err == nil {
+			if _, ok := c.entries[key]; !ok {
+				c.entries[key] = c.order.PushFront(&cacheEntry{key: key, form: slot.form})
+				for c.order.Len() > planCacheCap {
+					oldest := c.order.Back()
+					c.order.Remove(oldest)
+					delete(c.entries, oldest.Value.(*cacheEntry).key)
+				}
+			}
+		}
+	}
+	return slot.form, waiting, slot.err
+}
+
+// preparedFor returns the cached preparation for the query's form, building
+// and caching it on first sight. hit reports whether the form was already
+// prepared (or being prepared) by an earlier call.
+func (e *Engine) preparedFor(q ast.Query, opts Options) (pq *PreparedQuery, hit bool, err error) {
+	form, hit, err := e.plans.getOrBuild(formKey(q, opts), func() (*preparedForm, error) {
+		return e.prepare(q, opts)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return e.handleFor(form, q, opts), hit, nil
+}
+
+// handleFor wraps the shared per-form artifacts in a PreparedQuery carrying
+// this caller's query constants and options: two Prepare calls that share a
+// form still run with their own constants and runtime limits.
+func (e *Engine) handleFor(form *preparedForm, q ast.Query, opts Options) *PreparedQuery {
+	pq := &PreparedQuery{eng: e, opts: opts, atom: q.Atom, form: form}
+	for i, arg := range q.Atom.Args {
+		if ast.IsGround(arg) {
+			pq.boundPos = append(pq.boundPos, i)
+		}
+	}
+	return pq
+}
+
+// prepare builds the per-form artifacts for one query and option set.
+func (e *Engine) prepare(q ast.Query, opts Options) (*preparedForm, error) {
+	form := &preparedForm{}
+	switch opts.Strategy {
+	case Naive, SemiNaive:
+		pp, err := eval.Prepare(e.program, e.store.Table())
+		if err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+		form.prepared = pp
+		for key := range e.program.DerivedPredicates() {
+			form.derivedKeys = append(form.derivedKeys, key)
+		}
+	case TopDown:
+		ad, err := e.adorn(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		form.adorned = ad
+		form.safety = publicSafety(safety.Analyze(ad))
+	case MagicSets, SupplementaryMagicSets, Counting, SupplementaryCounting:
+		rw, err := rewriter(opts)
+		if err != nil {
+			return nil, err
+		}
+		ad, err := e.adorn(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		rewriting, err := rw.Rewrite(ad)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+		if opts.Simplify {
+			rewrite.Simplify(rewriting)
+		}
+		pp, err := eval.Prepare(rewriting.Program, e.store.Table())
+		if err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+		form.adorned = ad
+		form.rewriting = rewriting
+		form.prepared = pp
+		form.safety = publicSafety(safety.Analyze(ad))
+		form.rewrittenSrc = rewriting.Program.String()
+		form.rewrittenRules = len(rewriting.Program.Rules)
+		for key := range rewriting.Program.DerivedPredicates() {
+			if rewriting.AuxPredicates[key] {
+				form.auxKeys = append(form.auxKeys, key)
+			} else {
+				form.derivedKeys = append(form.derivedKeys, key)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("datalog: unknown strategy %q", opts.Strategy)
+	}
+	return form, nil
+}
+
+// run evaluates the prepared form for one set of bound constants. opts
+// carries the caller's run-time limits; its form-shaping fields are the
+// ones the form was prepared with. cacheHit is surfaced as
+// Stats.PlanCacheHit.
+func (pq *PreparedQuery) run(bound []ast.Term, opts Options, cacheHit bool) (*Result, error) {
+	for i, t := range bound {
+		if !ast.IsGround(t) {
+			return nil, fmt.Errorf("datalog: bound argument %d (%s) is not ground", i, t)
+		}
+	}
+	switch pq.opts.Strategy {
+	case Naive, SemiNaive:
+		return pq.runDirect(bound, opts, cacheHit)
+	case TopDown:
+		return pq.runTopDown(bound, opts, cacheHit)
+	default:
+		return pq.runRewritten(bound, opts, cacheHit)
+	}
+}
+
+// stampStats fills the option-echo fields of a result's stats.
+func (pq *PreparedQuery) stampStats(res *Result, cacheHit bool, withSip bool) {
+	res.Stats.Strategy = pq.opts.Strategy
+	res.Stats.PlanCacheHit = cacheHit
+	if withSip {
+		res.Stats.Sip = pq.opts.Sip
+		if res.Stats.Sip == "" {
+			res.Stats.Sip = SipFull
+		}
+	}
+}
+
+// safetyCopy returns a fresh copy of the cached safety report, so callers
+// mutating one Result cannot affect later results of the same form.
+func (f *preparedForm) safetyCopy() *SafetyReport {
+	if f.safety == nil {
+		return nil
+	}
+	s := *f.safety
+	return &s
+}
+
+// runDirect evaluates the unrewritten program bottom-up and selects the
+// answers matching the instantiated query atom.
+func (pq *PreparedQuery) runDirect(bound []ast.Term, opts Options, cacheHit bool) (*Result, error) {
+	e := pq.eng
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var store *database.Store
+	var stats *eval.Stats
+	var err error
+	if pq.opts.Strategy == Naive {
+		store, stats, err = pq.form.prepared.EvaluateNaive(e.store, nil, e.evalOptions(opts))
+	} else {
+		store, stats, err = pq.form.prepared.Evaluate(e.store, nil, e.evalOptions(opts))
+	}
+	res := &Result{}
+	pq.stampStats(res, cacheHit, false)
+	fillEvalStats(&res.Stats, stats)
+	if store != nil {
+		for _, key := range pq.form.derivedKeys {
+			res.Stats.DerivedFacts += store.FactCount(key)
+		}
+		atom := pq.atomWith(bound)
+		res.Answers = renderAnswers(eval.Answers(store, atom.PredKey(), atom))
+	}
+	if err != nil {
+		return res, wrapLimit(err)
+	}
+	return res, nil
+}
+
+// runTopDown runs the memoizing top-down reference strategy with the
+// adorned program prepared for the form and the query atom re-instantiated
+// for this call's constants.
+func (pq *PreparedQuery) runTopDown(bound []ast.Term, opts Options, cacheHit bool) (*Result, error) {
+	e := pq.eng
+	// The adorned program is shared and immutable; only the query differs
+	// per call, so evaluate a shallow copy carrying the new query atom.
+	ad := *pq.form.adorned
+	ad.Query = ast.Query{Atom: pq.atomWith(bound)}
+	tdOpts := topdown.Options{
+		// Each facade limit maps to its top-down counterpart: MaxFacts
+		// bounds the memo tables (goals + answers, like the bottom-up limit
+		// counts aux + derived facts), MaxIterations the fixpoint passes,
+		// and MaxDerivations the rule-body instantiations.
+		MaxMemo:        opts.MaxFacts,
+		MaxPasses:      opts.MaxIterations,
+		MaxDerivations: opts.MaxDerivations,
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	tres, err := topdown.Evaluate(&ad, e.store, tdOpts)
+	res := &Result{Safety: pq.form.safetyCopy()}
+	pq.stampStats(res, cacheHit, true)
+	if tres != nil {
+		res.Answers = renderAnswers(tres.Answers)
+		res.Stats.DerivedFacts = tres.Stats.Answers
+		res.Stats.AuxFacts = tres.Stats.Queries
+		res.Stats.Derivations = tres.Stats.Derivations
+		res.Stats.Iterations = tres.Stats.Passes
+	}
+	if err != nil {
+		return res, wrapLimit(err)
+	}
+	return res, nil
+}
+
+// runRewritten evaluates the precompiled rewritten program with the seed
+// facts re-instantiated for this call's constants, over a copy-on-write
+// overlay of the engine's store.
+func (pq *PreparedQuery) runRewritten(bound []ast.Term, opts Options, cacheHit bool) (*Result, error) {
+	e := pq.eng
+	seeds, pattern, err := pq.form.rewriting.Parameterize(bound)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	store, stats, evalErr := pq.form.prepared.Evaluate(e.store, seeds, e.evalOptions(opts))
+
+	res := &Result{RewrittenProgram: pq.form.rewrittenSrc, Safety: pq.form.safetyCopy()}
+	pq.stampStats(res, cacheHit, true)
+	res.Stats.RewrittenRules = pq.form.rewrittenRules
+	for _, s := range seeds {
+		res.Seeds = append(res.Seeds, s.String())
+	}
+	fillEvalStats(&res.Stats, stats)
+	if store != nil {
+		for _, key := range pq.form.derivedKeys {
+			res.Stats.DerivedFacts += store.FactCount(key)
+		}
+		for _, key := range pq.form.auxKeys {
+			res.Stats.AuxFacts += store.FactCount(key)
+		}
+		res.Answers = renderAnswers(eval.Answers(store, pq.form.rewriting.AnswerPred, pattern))
+	}
+	if evalErr != nil {
+		return res, wrapLimit(evalErr)
+	}
+	return res, nil
+}

@@ -1,0 +1,324 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPreparedDifferential proves PreparedQuery.Run returns the same answer
+// sets and fact counts as a cold one-shot Engine.Query, for every strategy,
+// sip policy and a range of bound constants. The one-shot reference runs on
+// a fresh engine each time so its form cache is guaranteed cold.
+func TestPreparedDifferential(t *testing.T) {
+	const n = 40
+	constants := []string{"n0", "n10", "n25", "n39", "nowhere"}
+	variants := []Options{
+		{Strategy: Naive},
+		{Strategy: SemiNaive},
+		{Strategy: TopDown},
+		{Strategy: TopDown, Sip: SipPartial},
+		{Strategy: MagicSets},
+		{Strategy: MagicSets, Sip: SipPartial},
+		{Strategy: MagicSets, Sip: SipGreedy},
+		{Strategy: MagicSets, Simplify: true},
+		{Strategy: MagicSets, KeepAllGuards: true},
+		{Strategy: SupplementaryMagicSets},
+		{Strategy: Counting},
+		{Strategy: Counting, Semijoin: true},
+		{Strategy: SupplementaryCounting},
+		{Strategy: SupplementaryCounting, Semijoin: true},
+	}
+	eng := chainEngine(t, n)
+	for _, opts := range variants {
+		name := fmt.Sprintf("%s/%s", opts.Strategy, opts.Sip)
+		t.Run(name, func(t *testing.T) {
+			pq, err := eng.Prepare("anc(n5, Y)", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range constants {
+				got, err := pq.Run(c)
+				if err != nil {
+					t.Fatalf("Run(%s): %v", c, err)
+				}
+				ref := chainEngine(t, n)
+				want, err := ref.Query(fmt.Sprintf("anc(%s, Y)", c), opts)
+				if err != nil {
+					t.Fatalf("one-shot Query(%s): %v", c, err)
+				}
+				if want.Stats.PlanCacheHit {
+					t.Fatal("cold one-shot reference unexpectedly hit a plan cache")
+				}
+				gotSet, wantSet := got.AnswerSet(), want.AnswerSet()
+				if len(gotSet) != len(wantSet) {
+					t.Fatalf("Run(%s): %d answers, one-shot %d", c, len(gotSet), len(wantSet))
+				}
+				for a := range wantSet {
+					if !gotSet[a] {
+						t.Fatalf("Run(%s): missing answer %s", c, a)
+					}
+				}
+				if got.Stats.DerivedFacts != want.Stats.DerivedFacts ||
+					got.Stats.AuxFacts != want.Stats.AuxFacts {
+					t.Fatalf("Run(%s): facts %d/%d, one-shot %d/%d", c,
+						got.Stats.DerivedFacts, got.Stats.AuxFacts,
+						want.Stats.DerivedFacts, want.Stats.AuxFacts)
+				}
+			}
+		})
+	}
+}
+
+// TestPreparedCompileOnce asserts the acceptance criterion of the serving
+// layer: preparing once and running the point query many times with varying
+// constants performs the adorn/rewrite/compile work exactly once — observed
+// as CompiledPlans dropping to 0 on every repeat run while RewrittenRules
+// still reports the (cached) rewritten program.
+func TestPreparedCompileOnce(t *testing.T) {
+	eng := chainEngine(t, 120)
+	pq, err := eng.Prepare("anc(n100, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := pq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.CompiledPlans == 0 {
+		t.Fatal("first run compiled no plans")
+	}
+	if first.Stats.RewrittenRules == 0 {
+		t.Fatal("first run reports no rewritten rules")
+	}
+	for i := 0; i < 100; i++ {
+		res, err := pq.Run(fmt.Sprintf("n%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.CompiledPlans != 0 {
+			t.Fatalf("run %d compiled %d plans; want 0 (compile must be amortized)", i, res.Stats.CompiledPlans)
+		}
+		if res.Stats.RewrittenRules != first.Stats.RewrittenRules {
+			t.Fatalf("run %d reports %d rewritten rules, want %d", i, res.Stats.RewrittenRules, first.Stats.RewrittenRules)
+		}
+		if !res.Stats.PlanCacheHit {
+			t.Fatalf("run %d not marked as a plan-cache hit", i)
+		}
+		if want := 120 - i; len(res.Answers) != want {
+			t.Fatalf("run %d: %d answers, want %d", i, len(res.Answers), want)
+		}
+	}
+}
+
+// TestQueryFormCache checks Engine.Query transparently reuses preparations
+// across calls that differ only in their constants.
+func TestQueryFormCache(t *testing.T) {
+	eng := chainEngine(t, 30)
+	cold, err := eng.Query("anc(n10, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.PlanCacheHit || cold.Stats.CompiledPlans == 0 {
+		t.Fatalf("cold query: hit=%v compiled=%d, want a miss that compiles", cold.Stats.PlanCacheHit, cold.Stats.CompiledPlans)
+	}
+	warm, err := eng.Query("anc(n20, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.PlanCacheHit || warm.Stats.CompiledPlans != 0 {
+		t.Fatalf("warm query: hit=%v compiled=%d, want a hit with 0 compiles", warm.Stats.PlanCacheHit, warm.Stats.CompiledPlans)
+	}
+	if len(warm.Answers) != 10 {
+		t.Fatalf("warm query answers = %d, want 10", len(warm.Answers))
+	}
+	// A different binding pattern is a different form.
+	other, err := eng.Query("anc(X, n20)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Stats.PlanCacheHit {
+		t.Fatal("different binding pattern must not hit the cache")
+	}
+}
+
+// TestPreparedRunArguments exercises the argument checking of Run.
+func TestPreparedRunArguments(t *testing.T) {
+	eng := chainEngine(t, 5)
+	pq, err := eng.Prepare("anc(n0, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Run("n0", "n1"); err == nil {
+		t.Error("expected an arity error for too many arguments")
+	}
+	if _, err := pq.Run(3.14); err == nil {
+		t.Error("expected a type error for a float argument")
+	}
+	res, err := pq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 5 {
+		t.Errorf("zero-arg Run answers = %d, want 5", len(res.Answers))
+	}
+	// Integer constants are converted like Engine.Assert.
+	num, err := NewEngine(`succ(X, Y) :- next(X, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := num.Assert("next", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	npq, err := num.Prepare("succ(1, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nres, err := npq.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nres.Answers) != 1 || nres.Answers[0].Values[0] != "2" {
+		t.Errorf("succ(1, Y) = %v", nres.Answers)
+	}
+}
+
+// TestPrepareSharedFormKeepsOwnConstants pins a bug the first cut had: two
+// Prepare calls of the same form share the compiled artifacts but must each
+// keep their own constants and runtime limits.
+func TestPrepareSharedFormKeepsOwnConstants(t *testing.T) {
+	eng := chainEngine(t, 10)
+	pq1, err := eng.Prepare("anc(n1, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pq2, err := eng.Prepare("anc(n7, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 3 {
+		t.Fatalf("anc(n7, Y) through a shared form = %d answers, want 3", len(res.Answers))
+	}
+	// Runtime limits belong to the handle, not the cached form.
+	limited, err := eng.Prepare("anc(n1, Y)", Options{Strategy: MagicSets, MaxDerivations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := limited.Run(); !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("expected ErrLimitExceeded from the limited handle, got %v", err)
+	}
+	if _, err := pq1.Run(); err != nil {
+		t.Fatalf("unlimited handle of the same form must stay unlimited, got %v", err)
+	}
+}
+
+// TestPreparedSeesAsserts checks prepared plans are not snapshots of the
+// data: facts asserted after Prepare are visible to later runs.
+func TestPreparedSeesAsserts(t *testing.T) {
+	eng := chainEngine(t, 3)
+	pq, err := eng.Prepare("anc(n0, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 3 {
+		t.Fatalf("answers before assert = %d, want 3", len(res.Answers))
+	}
+	if err := eng.Assert("par", "n3", "n4"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = pq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 4 {
+		t.Fatalf("answers after assert = %d, want 4", len(res.Answers))
+	}
+}
+
+// TestConcurrentQueriesAndAsserts hammers one engine from many goroutines —
+// prepared runs, one-shot queries across strategies, and interleaved
+// asserts — and checks every result is consistent with some state the chain
+// passed through. Run under -race this is the concurrency safety test for
+// the serving layer.
+func TestConcurrentQueriesAndAsserts(t *testing.T) {
+	const (
+		initial = 30
+		extra   = 20
+		workers = 4
+		rounds  = 25
+	)
+	eng := chainEngine(t, initial)
+	pq, err := eng.Prepare("anc(n0, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []Options{
+		{Strategy: MagicSets},
+		{Strategy: SupplementaryMagicSets},
+		{Strategy: SemiNaive},
+		{Strategy: TopDown},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds+extra)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				var res *Result
+				var err error
+				if w%2 == 0 {
+					res, err = pq.Run()
+				} else {
+					res, err = eng.Query("anc(n0, Y)", strategies[(w+i)%len(strategies)])
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n := len(res.Answers); n < initial || n > initial+extra {
+					errs <- fmt.Errorf("answers = %d, want between %d and %d", n, initial, initial+extra)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < extra; i++ {
+			if err := eng.Assert("par", fmt.Sprintf("n%d", initial+i), fmt.Sprintf("n%d", initial+i+1)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// After the dust settles every strategy agrees on the final chain.
+	for _, opts := range strategies {
+		res, err := eng.Query("anc(n0, Y)", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Answers) != initial+extra {
+			t.Fatalf("%s: final answers = %d, want %d", opts.Strategy, len(res.Answers), initial+extra)
+		}
+	}
+}

@@ -17,4 +17,12 @@
 // path, and the stats it reports (derivations, join probes, index and
 // pipeline-op counters) are the cost quantities of the paper's Section 9;
 // EXPERIMENTS.md explains how to read them.
+//
+// The facade is a serving layer: query forms (predicate + binding pattern +
+// strategy + sip) are adorned, rewritten and compiled once — explicitly via
+// Engine.Prepare / PreparedQuery.Run, or transparently through the form
+// cache inside Engine.Query — and each run evaluates the shared compiled
+// pipelines against a copy-on-write overlay of the store, so repeated
+// queries never re-rewrite the program or copy the extensional database.
+// Engines are safe for concurrent queries interleaved with asserts.
 package repro

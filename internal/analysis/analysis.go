@@ -82,13 +82,11 @@ func VerifySipOptimality(ad *adorn.Program, rw *rewrite.Rewriting, edb *database
 	if rw == nil || rw.Program == nil {
 		return nil, fmt.Errorf("analysis: nil rewriting")
 	}
-	db := edb.Clone()
-	for _, seed := range rw.Seeds {
-		if _, err := db.AddFact(seed); err != nil {
-			return nil, fmt.Errorf("analysis: %w", err)
-		}
+	pp, err := eval.Prepare(rw.Program, edb.Table())
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
 	}
-	store, _, err := eval.SemiNaive(eval.Options{}).Evaluate(rw.Program, db)
+	store, _, err := pp.Evaluate(edb, rw.Seeds, eval.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("analysis: bottom-up evaluation: %w", err)
 	}
@@ -111,8 +109,9 @@ func VerifySipOptimality(ad *adorn.Program, rw *rewrite.Rewriting, edb *database
 		predKey := strings.TrimPrefix(name, "magic_")
 		for _, t := range rel.Tuples() {
 			g := topdown.Goal{Pred: predKey, Bound: t}
-			magicKeys[g.Key()] = true
-			if _, ok := ref.Goals[g.Key()]; !ok {
+			key := ref.GoalKey(g)
+			magicKeys[key] = true
+			if _, ok := ref.Goals[key]; !ok {
 				report.MagicNotInQ = append(report.MagicNotInQ, name+t.String())
 			}
 		}
@@ -196,17 +195,16 @@ func (r StrategyRun) AuxFraction() float64 {
 }
 
 // MeasureRewriting evaluates a rewriting over a database and summarizes the
-// work done.
+// work done. The seeds are injected into a copy-on-write overlay of the
+// database, so the caller's store gains no facts.
 func MeasureRewriting(name string, rw *rewrite.Rewriting, edb *database.Store, opts eval.Options) StrategyRun {
 	run := StrategyRun{Strategy: name}
-	db := edb.Clone()
-	for _, seed := range rw.Seeds {
-		if _, err := db.AddFact(seed); err != nil {
-			run.Err = err
-			return run
-		}
+	pp, err := eval.Prepare(rw.Program, edb.Table())
+	if err != nil {
+		run.Err = err
+		return run
 	}
-	store, stats, err := eval.SemiNaive(opts).Evaluate(rw.Program, db)
+	store, stats, err := pp.Evaluate(edb, rw.Seeds, opts)
 	if err != nil {
 		run.Err = err
 	}

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/intern"
@@ -137,11 +139,21 @@ type Relation struct {
 	// seen maps a full-row hash to the positions of rows with that hash;
 	// candidates are verified by ID comparison, so collisions are harmless.
 	seen map[uint64][]int
-	// indexes maps a column bitmask to the hash index on those columns.
-	indexes map[uint64]*colIndex
+	// indexes maps a column bitmask to the hash index on those columns. It is
+	// reached through an atomic pointer so that concurrent read-only users of
+	// a shared relation (evaluations running against overlay stores of the
+	// same base) can probe existing indexes lock-free while another
+	// evaluation builds a new one: builders copy the map under buildMu and
+	// publish the copy. Inserts, which also maintain the indexes, are only
+	// ever performed by a single writer with no concurrent readers (private
+	// relations of one evaluation, or the engine store under its write
+	// lock).
+	indexes atomic.Pointer[map[uint64]*colIndex]
+	buildMu sync.Mutex
 
-	// probes counts indexed lookups, hits the tuples they returned.
-	probes, hits int64
+	// probes counts indexed lookups, hits the tuples they returned. Atomic
+	// because concurrent evaluations probe shared base relations.
+	probes, hits atomic.Int64
 }
 
 // NewRelation creates an empty relation with the given predicate key and
@@ -153,11 +165,10 @@ func NewRelation(name string, arity int) *Relation {
 // NewRelationWith creates an empty relation interning into the given table.
 func NewRelationWith(tab *intern.Table, name string, arity int) *Relation {
 	return &Relation{
-		Name:    name,
-		Arity:   arity,
-		tab:     tab,
-		seen:    make(map[uint64][]int),
-		indexes: make(map[uint64]*colIndex),
+		Name:  name,
+		Arity: arity,
+		tab:   tab,
+		seen:  make(map[uint64][]int),
 	}
 }
 
@@ -252,9 +263,11 @@ func (r *Relation) appendRow(row []intern.ID, t Tuple, h uint64) {
 	r.seen[h] = append(r.seen[h], pos)
 	r.tuples = append(r.tuples, t)
 	r.rows = append(r.rows, row)
-	for _, idx := range r.indexes {
-		k := hashProjection(row, idx.cols)
-		idx.buckets[k] = append(idx.buckets[k], pos)
+	if m := r.indexes.Load(); m != nil {
+		for _, idx := range *m {
+			k := hashProjection(row, idx.cols)
+			idx.buckets[k] = append(idx.buckets[k], pos)
+		}
 	}
 }
 
@@ -304,16 +317,35 @@ func colMask(cols []int) (uint64, bool) {
 }
 
 // ensureIndex builds (or returns) the hash index on the given sorted columns.
+// Concurrent builders are serialized by buildMu and publish a fresh copy of
+// the index map, so lock-free readers always see fully built indexes.
 func (r *Relation) ensureIndex(mask uint64, cols []int) *colIndex {
-	if idx, ok := r.indexes[mask]; ok {
-		return idx
+	if m := r.indexes.Load(); m != nil {
+		if idx, ok := (*m)[mask]; ok {
+			return idx
+		}
+	}
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+	old := r.indexes.Load()
+	if old != nil {
+		if idx, ok := (*old)[mask]; ok {
+			return idx
+		}
 	}
 	idx := &colIndex{cols: append([]int(nil), cols...), buckets: make(map[uint64][]int)}
 	for pos, row := range r.rows {
 		k := hashProjection(row, idx.cols)
 		idx.buckets[k] = append(idx.buckets[k], pos)
 	}
-	r.indexes[mask] = idx
+	next := make(map[uint64]*colIndex, 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[mask] = idx
+	r.indexes.Store(&next)
 	return idx
 }
 
@@ -389,7 +421,7 @@ func (r *Relation) LookupIDs(cols []int, ids []intern.ID) []int {
 
 	idx := r.ensureIndex(mask, cols)
 	bucket := idx.buckets[hashRow(ids)]
-	r.probes++
+	r.probes.Add(1)
 
 	// Verify the candidates: the bucket may contain hash collisions. In the
 	// common collision-free case the bucket is returned as is.
@@ -401,7 +433,7 @@ func (r *Relation) LookupIDs(cols []int, ids []intern.ID) []int {
 		}
 	}
 	if clean {
-		r.hits += int64(len(bucket))
+		r.hits.Add(int64(len(bucket)))
 		return bucket
 	}
 	var out []int
@@ -410,7 +442,7 @@ func (r *Relation) LookupIDs(cols []int, ids []intern.ID) []int {
 			out = append(out, pos)
 		}
 	}
-	r.hits += int64(len(out))
+	r.hits.Add(int64(len(out)))
 	return out
 }
 
@@ -425,7 +457,7 @@ func rowMatches(row []intern.ID, cols []int, ids []intern.ID) bool {
 
 // IndexStats returns the number of indexed lookups performed on this
 // relation and the total number of tuples those lookups returned.
-func (r *Relation) IndexStats() (probes, hits int64) { return r.probes, r.hits }
+func (r *Relation) IndexStats() (probes, hits int64) { return r.probes.Load(), r.hits.Load() }
 
 // Tuple returns the tuple at the given position, materializing it from the
 // ID row on first access. The materialization is cached, so like Tuples
@@ -448,9 +480,11 @@ func (r *Relation) Reset() {
 	for h := range r.seen {
 		delete(r.seen, h)
 	}
-	for _, idx := range r.indexes {
-		for k := range idx.buckets {
-			delete(idx.buckets, k)
+	if m := r.indexes.Load(); m != nil {
+		for _, idx := range *m {
+			for k := range idx.buckets {
+				delete(idx.buckets, k)
+			}
 		}
 	}
 }
@@ -492,11 +526,16 @@ func compareTuples(a, b Tuple) int {
 // Store is a collection of relations keyed by predicate key. It serves both
 // as the extensional database (base facts) and, during and after bottom-up
 // evaluation, as the store of derived facts. Every store owns an intern
-// table scoped to it (shared with clones and siblings created through
-// NewStoreWith), so independent stores do not grow each other's symbol
-// tables.
+// table scoped to it (shared with clones, overlays and siblings created
+// through NewStoreWith), so independent stores do not grow each other's
+// symbol tables.
 type Store struct {
-	tab       *intern.Table
+	tab *intern.Table
+	// base, when non-nil, makes this store a copy-on-write overlay: reads of
+	// relations not present in the overlay fall through to the base, and the
+	// mutating accessor Relation copies a base relation into the overlay
+	// before it is ever written. See Overlay.
+	base      *Store
 	relations map[string]*Relation
 	order     []string
 }
@@ -516,9 +555,28 @@ func NewStoreWith(tab *intern.Table) *Store {
 // Table returns the store's symbol table.
 func (s *Store) Table() *intern.Table { return s.tab }
 
+// Overlay returns a copy-on-write view of the store: reads fall through to
+// the base store's relations, while any relation obtained through the
+// mutating accessor Relation (directly or via AddFact) is first copied into
+// the overlay, leaving the base untouched. The overlay shares the base's
+// symbol table, so ID rows remain comparable across the two. It replaces
+// the full Clone the evaluators used to take per evaluation: creating an
+// overlay is O(1) and only the relations actually written are ever copied.
+//
+// The base may be shared by any number of concurrent overlays as long as
+// nothing mutates it while they are alive: lazy index building and the
+// probe/hit counters on shared relations are internally synchronized, and
+// rows only reach a base store through term-level inserts, which
+// pre-materialize the tuple cache that concurrent readers consult.
+func (s *Store) Overlay() *Store {
+	return &Store{tab: s.tab, base: s, relations: make(map[string]*Relation)}
+}
+
 // Relation returns the relation with the given predicate key, creating it
 // with the given arity if absent. If it exists with a different arity an
-// error is returned.
+// error is returned. On an overlay store this is the copy-on-write point: a
+// relation present only in the base is deep-copied into the overlay before
+// it is returned.
 func (s *Store) Relation(name string, arity int) (*Relation, error) {
 	if r, ok := s.relations[name]; ok {
 		if r.Arity != arity {
@@ -526,16 +584,33 @@ func (s *Store) Relation(name string, arity int) (*Relation, error) {
 		}
 		return r, nil
 	}
-	r := NewRelationWith(s.tab, name, arity)
+	var r *Relation
+	if s.base != nil {
+		if br := s.base.Existing(name); br != nil {
+			if br.Arity != arity {
+				return nil, fmt.Errorf("relation %s exists with arity %d, requested %d", name, br.Arity, arity)
+			}
+			r = br.Clone()
+		}
+	}
+	if r == nil {
+		r = NewRelationWith(s.tab, name, arity)
+	}
 	s.relations[name] = r
 	s.order = append(s.order, name)
 	return r, nil
 }
 
-// Existing returns the relation with the given predicate key, or nil if the
-// store has no such relation.
+// Existing returns the relation with the given predicate key, or nil if
+// neither the store nor (for overlays) its base has such a relation.
 func (s *Store) Existing(name string) *Relation {
-	return s.relations[name]
+	if r, ok := s.relations[name]; ok {
+		return r
+	}
+	if s.base != nil {
+		return s.base.Existing(name)
+	}
+	return nil
 }
 
 // AddFact inserts a ground atom into the store. It returns true if the fact
@@ -570,14 +645,39 @@ func (s *Store) AddFacts(atoms []ast.Atom) error {
 	return nil
 }
 
-// Names returns the predicate keys of all relations in insertion order.
-func (s *Store) Names() []string { return append([]string(nil), s.order...) }
+// Names returns the predicate keys of all relations in insertion order; for
+// an overlay the base's names come first, followed by the overlay's own new
+// relations (shadowed names are not repeated).
+func (s *Store) Names() []string {
+	if s.base == nil {
+		return append([]string(nil), s.order...)
+	}
+	names := s.base.Names()
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range s.order {
+		if !have[n] {
+			names = append(names, n)
+		}
+	}
+	return names
+}
 
-// TotalFacts returns the total number of tuples across all relations.
+// TotalFacts returns the total number of tuples across all relations
+// (including, for overlays, the unshadowed base relations).
 func (s *Store) TotalFacts() int {
 	n := 0
 	for _, r := range s.relations {
 		n += r.Len()
+	}
+	if s.base != nil {
+		for _, name := range s.base.Names() {
+			if _, ok := s.relations[name]; !ok {
+				n += s.base.FactCount(name)
+			}
+		}
 	}
 	return n
 }
@@ -585,17 +685,25 @@ func (s *Store) TotalFacts() int {
 // FactCount returns the number of tuples in the named relation (0 if the
 // relation does not exist).
 func (s *Store) FactCount(name string) int {
-	if r, ok := s.relations[name]; ok {
+	if r := s.Existing(name); r != nil {
 		return r.Len()
 	}
 	return 0
 }
 
-// IndexStats sums the index probe/hit counters of every relation in the
-// store.
+// IndexStats sums the index probe/hit counters of every relation reachable
+// from the store. For an overlay this includes every base relation (even
+// shadowed ones): base relations are shared with other overlays, so the sum
+// is a consistent monotone total that callers diff across a time window
+// rather than a per-store attribution.
 func (s *Store) IndexStats() (probes, hits int64) {
 	for _, r := range s.relations {
 		p, h := r.IndexStats()
+		probes += p
+		hits += h
+	}
+	if s.base != nil {
+		p, h := s.base.IndexStats()
 		probes += p
 		hits += h
 	}
@@ -611,12 +719,12 @@ func (s *Store) Reset() {
 }
 
 // Clone returns a deep copy of the store, sharing the original's symbol
-// table so ID rows stay comparable. The evaluators clone the input database
-// so the caller's store is never mutated by evaluation.
+// table so ID rows stay comparable. Cloning an overlay flattens it: the
+// clone holds private copies of the base relations too.
 func (s *Store) Clone() *Store {
 	c := NewStoreWith(s.tab)
-	for _, name := range s.order {
-		c.relations[name] = s.relations[name].Clone()
+	for _, name := range s.Names() {
+		c.relations[name] = s.Existing(name).Clone()
 		c.order = append(c.order, name)
 	}
 	return c
@@ -625,8 +733,8 @@ func (s *Store) Clone() *Store {
 // Atoms returns all tuples of the named relation as ground atoms, in
 // insertion order.
 func (s *Store) Atoms(name string) []ast.Atom {
-	r, ok := s.relations[name]
-	if !ok {
+	r := s.Existing(name)
+	if r == nil {
 		return nil
 	}
 	out := make([]ast.Atom, 0, r.Len())
@@ -656,10 +764,10 @@ func adornOf(key string) ast.Adornment {
 // stable output.
 func (s *Store) String() string {
 	var b strings.Builder
-	names := append([]string(nil), s.order...)
+	names := s.Names()
 	sort.Strings(names)
 	for _, name := range names {
-		r := s.relations[name]
+		r := s.Existing(name)
 		fmt.Fprintf(&b, "%s/%d (%d tuples)\n", name, r.Arity, r.Len())
 		for _, t := range r.Sorted() {
 			fmt.Fprintf(&b, "  %s%s\n", name, t)

@@ -28,32 +28,6 @@ import (
 	"repro/internal/sip"
 )
 
-// compiledRule memoizes the pipeline variants of one rule, keyed by the
-// delta position (-1 for the full-store variant).
-type compiledRule struct {
-	variants map[int]*pipeline
-}
-
-// pipelineFor returns the compiled pipeline for the rule and delta position,
-// compiling and memoizing it on first use.
-func (ctx *evalContext) pipelineFor(ruleIdx, deltaPos int) *pipeline {
-	if ctx.opts.forceTermSpace {
-		return nil
-	}
-	cr := &ctx.compiled[ruleIdx]
-	if cr.variants == nil {
-		cr.variants = make(map[int]*pipeline)
-	}
-	if pl, ok := cr.variants[deltaPos]; ok {
-		return pl
-	}
-	pl := compileRule(ctx, ruleIdx, deltaPos)
-	cr.variants[deltaPos] = pl
-	ctx.stats.CompiledPlans++
-	ctx.stats.PlanOps += len(pl.steps) + 1 // body steps plus the head op
-	return pl
-}
-
 // bodyHasArith reports whether any body argument contains an interpreted
 // arithmetic functor.
 func bodyHasArith(r ast.Rule) bool {
@@ -92,9 +66,11 @@ func (c *compiler) regOf(name string) int {
 }
 
 // compileRule lowers one rule into a pipeline with the literal at deltaPos
-// (if >= 0) reading from the delta store.
-func compileRule(ctx *evalContext, ruleIdx, deltaPos int) *pipeline {
-	r := ctx.program.Rules[ruleIdx]
+// (if >= 0) reading from the delta store. The produced pipeline is immutable
+// (all run-time scratch lives in a per-evaluation pipeScratch), so it can be
+// shared by concurrent evaluations of the same Prepared program.
+func compileRule(pp *Prepared, ruleIdx, deltaPos int) *pipeline {
+	r := pp.program.Rules[ruleIdx]
 	var order []int
 	if bodyHasArith(r) {
 		// Preserve the textual order: affine arithmetic matching is
@@ -104,10 +80,10 @@ func compileRule(ctx *evalContext, ruleIdx, deltaPos int) *pipeline {
 			order[i] = i
 		}
 	} else {
-		order = sip.GreedyOrder(r.Body, nil, ctx.derived, deltaPos)
+		order = sip.GreedyOrder(r.Body, nil, pp.derived, deltaPos)
 	}
 
-	c := &compiler{tab: ctx.store.Table(), regs: make(map[string]int), bound: make(map[string]bool)}
+	c := &compiler{tab: pp.tab, regs: make(map[string]int), bound: make(map[string]bool)}
 	pl := &pipeline{ruleIdx: ruleIdx, rule: r, headOK: true}
 
 	for _, pos := range order {
@@ -135,7 +111,6 @@ func compileRule(ctx *evalContext, ruleIdx, deltaPos int) *pipeline {
 				st.ops = append(st.ops, c.compilePat(arg))
 			}
 		}
-		st.probeIDs = make([]intern.ID, len(st.cols))
 		pl.steps = append(pl.steps, st)
 	}
 
@@ -162,8 +137,6 @@ func compileRule(ctx *evalContext, ruleIdx, deltaPos int) *pipeline {
 	}
 
 	pl.nregs = c.nregs
-	pl.regs = make([]intern.ID, c.nregs)
-	pl.headRow = make([]intern.ID, pl.headArity)
 	return pl
 }
 

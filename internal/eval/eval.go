@@ -16,6 +16,7 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/database"
@@ -97,12 +98,19 @@ type Stats struct {
 	// performed against the store (main and delta sides); IndexHits is the
 	// number of tuples those lookups returned. These are storage-level
 	// counters: a JoinProbes match attempt fed by a scan appears in neither.
+	// They are measured as the difference of the shared relation counters
+	// over the evaluation, so when several evaluations run concurrently over
+	// the same base store, probes on the shared base relations are
+	// attributed to whichever evaluations were in flight.
 	IndexProbes int64
 	IndexHits   int64
-	// CompiledPlans counts the join pipelines compiled for this evaluation
-	// (one per rule and delta-occurrence variant actually executed), and
-	// PlanOps the total number of pipeline ops across them (one per body
-	// step plus one head constructor each).
+	// CompiledPlans counts the join pipelines compiled during this
+	// evaluation (one per rule and delta-occurrence variant executed for the
+	// first time), and PlanOps the total number of pipeline ops across them
+	// (one per body step plus one head constructor each). An evaluation that
+	// reuses a Prepared program's already compiled pipelines reports 0 for
+	// both — which is how callers observe that the compile work was
+	// amortized away.
 	CompiledPlans int
 	PlanOps       int
 	// OpProbes counts executed pipeline probe ops (index-driven steps) and
@@ -130,9 +138,11 @@ func (s *Stats) String() string {
 
 // Evaluator computes the fixpoint of a program over a database.
 type Evaluator interface {
-	// Evaluate runs the program to fixpoint over a copy of the database and
-	// returns the resulting store (base facts plus all derived facts) and
-	// evaluation statistics. The input store is not modified.
+	// Evaluate runs the program to fixpoint over a copy-on-write overlay of
+	// the database and returns the resulting store (base facts plus all
+	// derived facts) and evaluation statistics. The input store's facts are
+	// never modified; evaluation may build lazy bound-column indexes on its
+	// relations, which later evaluations over the same store then reuse.
 	Evaluate(p *ast.Program, edb *database.Store) (*database.Store, *Stats, error)
 	// Name identifies the evaluator.
 	Name() string
@@ -157,16 +167,87 @@ type semiNaiveEvaluator struct{ opts Options }
 
 func (e *semiNaiveEvaluator) Name() string { return "semi-naive" }
 
+// variantKey identifies one compiled pipeline variant of a program: a rule
+// index plus the delta position (-1 for the full-store variant).
+type variantKey struct {
+	rule  int
+	delta int
+}
+
+// Prepared is the reusable compiled form of a program for bottom-up
+// evaluation: the arity and derived-predicate maps, the dependency-graph
+// schedule, and the ID-space join pipelines, computed once and shared by
+// any number of evaluations — including concurrent ones — over stores that
+// intern into the same symbol table. It is the unit a serving layer caches
+// per query form so the compile work runs once while evaluation runs per
+// call.
+type Prepared struct {
+	program *ast.Program
+	arities map[string]int
+	derived map[string]bool
+	plan    *depgraph.Plan
+	tab     *intern.Table
+
+	mu       sync.Mutex
+	variants map[variantKey]*pipeline
+}
+
+// Prepare analyzes and readies a program for repeated evaluation over
+// stores interning into tab. Pipelines are compiled lazily, on first
+// execution of each rule variant, and then shared across evaluations.
+func Prepare(p *ast.Program, tab *intern.Table) (*Prepared, error) {
+	arities, err := p.Arities()
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	return &Prepared{
+		program:  p,
+		arities:  arities,
+		derived:  p.DerivedPredicates(),
+		plan:     depgraph.Analyze(p),
+		tab:      tab,
+		variants: make(map[variantKey]*pipeline),
+	}, nil
+}
+
+// Program returns the prepared program.
+func (pp *Prepared) Program() *ast.Program { return pp.program }
+
+// pipelineVariant returns the compiled pipeline for one rule variant,
+// compiling it on first use; fresh reports whether this call performed the
+// compilation (so per-evaluation stats count only new compile work).
+func (pp *Prepared) pipelineVariant(ruleIdx, deltaPos int) (pl *pipeline, fresh bool) {
+	key := variantKey{ruleIdx, deltaPos}
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pl, ok := pp.variants[key]; ok {
+		return pl, false
+	}
+	pl = compileRule(pp, ruleIdx, deltaPos)
+	pp.variants[key] = pl
+	return pl, true
+}
+
+// runPipe pairs a shared compiled pipeline with this evaluation's private
+// scratch state (register file, probe and head-row buffers), so concurrent
+// evaluations can execute the same pipeline.
+type runPipe struct {
+	pl *pipeline
+	sc *pipeScratch
+}
+
 // evalContext carries the shared machinery of both evaluators.
 type evalContext struct {
+	prep    *Prepared
 	program *ast.Program
 	store   *database.Store
 	derived map[string]bool
 	arities map[string]int
 	opts    Options
 	stats   *Stats
-	// compiled memoizes the join-pipeline variants per rule.
-	compiled []compiledRule
+	// bound memoizes, per pipeline variant, the shared pipeline paired with
+	// this evaluation's scratch buffers.
+	bound map[variantKey]*runPipe
 	// reader is the lock-free view of the store's symbol table the compiled
 	// pipelines execute against.
 	reader intern.Reader
@@ -174,20 +255,24 @@ type evalContext struct {
 	// semi-naive evaluator) whose index counters finish folds into the
 	// totals alongside the main store's.
 	extraStores []*database.Store
+	// baseProbes/baseHits snapshot the store's index counters at the start
+	// of the evaluation; finish reports the difference, since overlay base
+	// relations carry counters across evaluations.
+	baseProbes, baseHits int64
 }
 
-func newContext(p *ast.Program, edb *database.Store, opts Options, name string) (*evalContext, error) {
-	arities, err := p.Arities()
-	if err != nil {
-		return nil, fmt.Errorf("eval: %w", err)
+func newContext(pp *Prepared, edb *database.Store, seeds []ast.Atom, opts Options, name string) (*evalContext, error) {
+	if edb.Table() != pp.tab {
+		return nil, fmt.Errorf("eval: store interns into a different symbol table than the prepared program")
 	}
 	ctx := &evalContext{
-		program:  p,
-		store:    edb.Clone(),
-		derived:  p.DerivedPredicates(),
-		arities:  arities,
-		opts:     opts,
-		compiled: make([]compiledRule, len(p.Rules)),
+		prep:    pp,
+		program: pp.program,
+		store:   edb.Overlay(),
+		derived: pp.derived,
+		arities: pp.arities,
+		opts:    opts,
+		bound:   make(map[variantKey]*runPipe),
 		stats: &Stats{
 			Strategy:         name,
 			RuleFirings:      make(map[int]int64),
@@ -196,13 +281,45 @@ func newContext(p *ast.Program, edb *database.Store, opts Options, name string) 
 	}
 	ctx.reader = ctx.store.Table().Reader()
 	// Pre-create relations for every derived predicate so lookups during
-	// body matching never fail on missing relations.
+	// body matching never fail on missing relations. On the overlay this is
+	// also the copy-on-write point: every relation evaluation writes to
+	// becomes private here, so the shared base store is never mutated.
 	for key := range ctx.derived {
-		if _, err := ctx.store.Relation(key, arities[key]); err != nil {
+		if _, err := ctx.store.Relation(key, ctx.arities[key]); err != nil {
 			return nil, fmt.Errorf("eval: %w", err)
 		}
 	}
+	// Seed facts (the magic/counting seeds derived from a query's bound
+	// constants) go straight into the overlay; like the pre-seeded stores of
+	// the old clone-based API they are not counted as derived facts.
+	for _, seed := range seeds {
+		if _, err := ctx.store.AddFact(seed); err != nil {
+			return nil, fmt.Errorf("eval: seed %s: %w", seed, err)
+		}
+	}
+	ctx.baseProbes, ctx.baseHits = ctx.store.IndexStats()
 	return ctx, nil
+}
+
+// pipelineFor returns the runnable pipeline for the rule and delta position,
+// fetching (or compiling) the shared variant and binding it to this
+// evaluation's scratch buffers on first use.
+func (ctx *evalContext) pipelineFor(ruleIdx, deltaPos int) *runPipe {
+	if ctx.opts.forceTermSpace {
+		return nil
+	}
+	key := variantKey{ruleIdx, deltaPos}
+	if rp, ok := ctx.bound[key]; ok {
+		return rp
+	}
+	pl, fresh := ctx.prep.pipelineVariant(ruleIdx, deltaPos)
+	if fresh {
+		ctx.stats.CompiledPlans++
+		ctx.stats.PlanOps += len(pl.steps) + 1 // body steps plus the head op
+	}
+	rp := &runPipe{pl: pl, sc: pl.newScratch()}
+	ctx.bound[key] = rp
+	return rp
 }
 
 // matchLiteral enumerates the substitutions extending s that satisfy the
@@ -314,8 +431,9 @@ func (ctx *evalContext) insertRow(target *database.Store, key string, arity int,
 // inserted into aux (if non-nil, the next delta store) and reported through
 // onNew.
 func (ctx *evalContext) fireRule(ruleIdx int, deltaPos int, delta *database.Store, aux *database.Store, onNew func()) error {
-	if pl := ctx.pipelineFor(ruleIdx, deltaPos); pl != nil {
-		return pl.run(ctx, delta, func(row []intern.ID) error {
+	if rp := ctx.pipelineFor(ruleIdx, deltaPos); rp != nil {
+		pl := rp.pl
+		return pl.run(ctx, rp.sc, delta, func(row []intern.ID) error {
 			added, err := ctx.insertRow(ctx.store, pl.headKey, pl.headArity, row)
 			if err != nil {
 				return err
@@ -367,7 +485,9 @@ func (ctx *evalContext) finish(err error) (*database.Store, *Stats, error) {
 	for key := range ctx.derived {
 		ctx.stats.FactsByPredicate[key] = ctx.store.FactCount(key)
 	}
-	ctx.stats.IndexProbes, ctx.stats.IndexHits = ctx.store.IndexStats()
+	p, h := ctx.store.IndexStats()
+	ctx.stats.IndexProbes = p - ctx.baseProbes
+	ctx.stats.IndexHits = h - ctx.baseHits
 	for _, s := range ctx.extraStores {
 		p, h := s.IndexStats()
 		ctx.stats.IndexProbes += p
@@ -378,17 +498,27 @@ func (ctx *evalContext) finish(err error) (*database.Store, *Stats, error) {
 
 // Evaluate implements Evaluator for the naive strategy.
 func (e *naiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*database.Store, *Stats, error) {
-	ctx, err := newContext(p, edb, e.opts, e.Name())
+	pp, err := Prepare(p, edb.Table())
+	if err != nil {
+		return nil, nil, err
+	}
+	return pp.EvaluateNaive(edb, nil, e.opts)
+}
+
+// EvaluateNaive runs the naive strategy over an overlay of edb extended
+// with the seed facts. See Evaluate for the overlay contract.
+func (pp *Prepared) EvaluateNaive(edb *database.Store, seeds []ast.Atom, opts Options) (*database.Store, *Stats, error) {
+	ctx, err := newContext(pp, edb, seeds, opts, "naive")
 	if err != nil {
 		return nil, nil, err
 	}
 	for {
 		ctx.stats.Iterations++
-		if e.opts.MaxIterations > 0 && ctx.stats.Iterations > e.opts.MaxIterations {
-			return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, e.opts.MaxIterations))
+		if opts.MaxIterations > 0 && ctx.stats.Iterations > opts.MaxIterations {
+			return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, opts.MaxIterations))
 		}
 		changed := false
-		for i := range p.Rules {
+		for i := range pp.program.Rules {
 			if err := ctx.fireRule(i, -1, nil, nil, func() { changed = true }); err != nil {
 				return ctx.finish(err)
 			}
@@ -409,11 +539,27 @@ func (e *naiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*databas
 // predicates. Within the delta loop, a rule is re-fired only through body
 // occurrences of same-component predicates whose delta is non-empty.
 func (e *semiNaiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*database.Store, *Stats, error) {
-	ctx, err := newContext(p, edb, e.opts, e.Name())
+	pp, err := Prepare(p, edb.Table())
 	if err != nil {
 		return nil, nil, err
 	}
-	plan := depgraph.Analyze(p)
+	return pp.Evaluate(edb, nil, e.opts)
+}
+
+// Evaluate runs the semi-naive strategy over a copy-on-write overlay of edb
+// extended with the seed facts: the base store's facts are shared, not
+// copied, and only the derived (and seeded) relations are private to this
+// evaluation. It is safe to call concurrently from multiple goroutines over
+// the same base store, provided nothing mutates the base while evaluations
+// are in flight; the compiled pipelines are shared, each evaluation gets
+// its own register scratch.
+func (pp *Prepared) Evaluate(edb *database.Store, seeds []ast.Atom, opts Options) (*database.Store, *Stats, error) {
+	ctx, err := newContext(pp, edb, seeds, opts, "semi-naive")
+	if err != nil {
+		return nil, nil, err
+	}
+	p := pp.program
+	plan := pp.plan
 	ctx.stats.Strata = plan.Strata()
 
 	// Two delta stores are allocated once and reused across every round of
@@ -455,8 +601,8 @@ func (e *semiNaiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*dat
 		for delta.TotalFacts() > 0 {
 			rounds++
 			ctx.stats.Iterations++
-			if e.opts.MaxIterations > 0 && rounds > e.opts.MaxIterations {
-				return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, e.opts.MaxIterations))
+			if opts.MaxIterations > 0 && rounds > opts.MaxIterations {
+				return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, opts.MaxIterations))
 			}
 			next.Reset()
 			for _, ri := range comp.Rules {

@@ -451,8 +451,6 @@ type step struct {
 	// free are the remaining columns, matched per candidate row by ops.
 	free []int
 	ops  []patNode
-	// probeIDs is the scratch probe buffer, reused across executions.
-	probeIDs []intern.ID
 }
 
 // matchRow runs the free-column pattern ops against a candidate row.
@@ -465,8 +463,10 @@ func (st *step) matchRow(rd *intern.Reader, regs []intern.ID, row []intern.ID) b
 	return true
 }
 
-// pipeline is one fully compiled rule variant: the ordered body steps, the
-// head constructor, and the scratch register file.
+// pipeline is one fully compiled rule variant: the ordered body steps and
+// the head constructor. A pipeline is immutable once compiled — all
+// run-time state lives in a pipeScratch — so one compiled instance is
+// shared by every (possibly concurrent) evaluation of its Prepared program.
 type pipeline struct {
 	ruleIdx int
 	rule    ast.Rule
@@ -482,9 +482,28 @@ type pipeline struct {
 	// to materialize the offending head for the non-ground error message.
 	boundRegs map[string]int
 
-	nregs   int
+	nregs int
+}
+
+// pipeScratch is the per-evaluation mutable state of one pipeline: the
+// register file, the probe buffer of each step, and the head-row buffer.
+type pipeScratch struct {
 	regs    []intern.ID
 	headRow []intern.ID
+	probes  [][]intern.ID
+}
+
+// newScratch allocates scratch buffers sized for the pipeline.
+func (pl *pipeline) newScratch() *pipeScratch {
+	sc := &pipeScratch{
+		regs:    make([]intern.ID, pl.nregs),
+		headRow: make([]intern.ID, pl.headArity),
+		probes:  make([][]intern.ID, len(pl.steps)),
+	}
+	for i := range pl.steps {
+		sc.probes[i] = make([]intern.ID, len(pl.steps[i].cols))
+	}
+	return sc
 }
 
 // run executes the pipeline against the context's store (and the delta store
@@ -492,9 +511,9 @@ type pipeline struct {
 // head ID row for every successful body instantiation. The emitted slice is
 // reused across firings; emit must copy it if it retains it (Relation.
 // InsertRow does).
-func (pl *pipeline) run(ctx *evalContext, delta *database.Store, emit func(row []intern.ID) error) error {
+func (pl *pipeline) run(ctx *evalContext, sc *pipeScratch, delta *database.Store, emit func(row []intern.ID) error) error {
 	rd := &ctx.reader
-	regs := pl.regs
+	regs := sc.regs
 	// Resolve the step relations once per run: the set of relations cannot
 	// change while the pipeline runs (derived relations are pre-created and
 	// delta rounds write to the next round's store).
@@ -510,7 +529,7 @@ func (pl *pipeline) run(ctx *evalContext, delta *database.Store, emit func(row [
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(pl.steps) {
-			return pl.fire(ctx, rd, emit)
+			return pl.fire(ctx, sc, rd, emit)
 		}
 		st := &pl.steps[i]
 		rel := rels[i]
@@ -536,6 +555,7 @@ func (pl *pipeline) run(ctx *evalContext, delta *database.Store, emit func(row [
 		// unfindable value in an earlier column must not mask the error of a
 		// later one.
 		miss := false
+		probeIDs := sc.probes[i]
 		for k := range st.cols {
 			id, ok, arithErr := st.vals[k].probe(rd, regs)
 			if arithErr {
@@ -545,13 +565,13 @@ func (pl *pipeline) run(ctx *evalContext, delta *database.Store, emit func(row [
 				miss = true
 				continue
 			}
-			st.probeIDs[k] = id
+			probeIDs[k] = id
 		}
 		if miss {
 			return nil
 		}
 		ctx.stats.OpProbes++
-		positions := rel.LookupIDs(st.cols, st.probeIDs)
+		positions := rel.LookupIDs(st.cols, probeIDs)
 		for _, pos := range positions {
 			ctx.stats.JoinProbes++
 			if st.matchRow(rd, regs, rel.Row(pos)) {
@@ -567,26 +587,26 @@ func (pl *pipeline) run(ctx *evalContext, delta *database.Store, emit func(row [
 
 // fire records the successful body instantiation, builds the head row and
 // emits it.
-func (pl *pipeline) fire(ctx *evalContext, rd *intern.Reader, emit func(row []intern.ID) error) error {
+func (pl *pipeline) fire(ctx *evalContext, sc *pipeScratch, rd *intern.Reader, emit func(row []intern.ID) error) error {
 	if !pl.headOK {
-		return fmt.Errorf("%w: rule %d (%s) produced %s", ErrNonGroundFact, pl.ruleIdx, pl.rule, pl.materializeHead(rd))
+		return fmt.Errorf("%w: rule %d (%s) produced %s", ErrNonGroundFact, pl.ruleIdx, pl.rule, pl.materializeHead(sc, rd))
 	}
 	ctx.stats.addFiring(pl.ruleIdx)
 	if ctx.opts.MaxDerivations > 0 && ctx.stats.Derivations > ctx.opts.MaxDerivations {
 		return fmt.Errorf("%w: more than %d derivations", ErrLimitExceeded, ctx.opts.MaxDerivations)
 	}
 	for i := range pl.head {
-		pl.headRow[i] = pl.head[i].build(rd, pl.regs)
+		sc.headRow[i] = pl.head[i].build(rd, sc.regs)
 	}
-	return emit(pl.headRow)
+	return emit(sc.headRow)
 }
 
 // materializeHead rebuilds the instantiated head atom for the non-ground
 // error message, substituting the bound registers back into the head terms.
-func (pl *pipeline) materializeHead(rd *intern.Reader) ast.Atom {
+func (pl *pipeline) materializeHead(sc *pipeScratch, rd *intern.Reader) ast.Atom {
 	s := ast.NewSubst()
 	for name, reg := range pl.boundRegs {
-		s[name] = rd.Term(pl.regs[reg])
+		s[name] = rd.Term(sc.regs[reg])
 	}
 	head := s.ApplyAtom(pl.rule.Head)
 	for i, arg := range head.Args {

@@ -161,6 +161,27 @@ func (rw *Rewriter) Rewrite(ad *adorn.Program) (*rewrite.Rewriting, error) {
 		}
 	}
 	out.AuxPredicates[seed.PredKey()] = true
+	// Parameterization schema: the seed carries the query's bound constants
+	// after its three index fields. Unreduced answer patterns carry them at
+	// 3 + the query's own bound positions; the semijoin optimization drops
+	// the bound arguments from the answer predicate entirely.
+	nb := len(ad.Query.BoundConstants())
+	seedPos := make([]int, nb)
+	for i := range seedPos {
+		seedPos[i] = 3 + i
+	}
+	out.SeedBoundArgs = [][]int{seedPos}
+	out.AnswerBoundArgs = make([]int, 0, nb)
+	for i, arg := range ad.Query.Atom.Args {
+		if !ast.IsGround(arg) {
+			continue
+		}
+		if ctx.reduced {
+			out.AnswerBoundArgs = append(out.AnswerBoundArgs, -1)
+		} else {
+			out.AnswerBoundArgs = append(out.AnswerBoundArgs, 3+i)
+		}
+	}
 	return out, nil
 }
 

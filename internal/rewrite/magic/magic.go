@@ -83,6 +83,14 @@ func (rw *Rewriter) Rewrite(ad *adorn.Program) (*rewrite.Rewriting, error) {
 	seed := rewrite.SeedAtom(ad)
 	out.Seeds = []ast.Atom{seed}
 	out.AuxPredicates[seed.PredKey()] = true
+	// The seed's arguments are exactly the query's bound constants, and the
+	// answer pattern carries them at the query's own bound positions.
+	positions := make([]int, len(seed.Args))
+	for i := range positions {
+		positions[i] = i
+	}
+	out.SeedBoundArgs = [][]int{positions}
+	out.AnswerBoundArgs = rewrite.QueryBoundPositions(ad)
 	return out, nil
 }
 

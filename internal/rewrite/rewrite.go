@@ -51,6 +51,19 @@ type Rewriting struct {
 	// remaining non-index arguments correspond to the free positions of the
 	// query only.
 	DroppedAnswerBound bool
+	// SeedBoundArgs lists, for each seed in Seeds, the argument positions
+	// that hold the query's bound constants, in Query.BoundConstants()
+	// order. Every other seed argument is a form constant — part of the
+	// query's binding pattern rather than its constants (for example the
+	// (0, 0, 0) index triple of the counting seed). Together with
+	// AnswerBoundArgs it is the schema Parameterize uses to re-instantiate a
+	// rewriting for new constants of the same query form.
+	SeedBoundArgs [][]int
+	// AnswerBoundArgs lists, in Query.BoundConstants() order, the position
+	// of each bound query constant within AnswerPattern.Args, or -1 for a
+	// constant whose argument the semijoin optimization removed from the
+	// answer predicate.
+	AnswerBoundArgs []int
 	// Adorned is the adorned program the rewriting was built from.
 	Adorned *adorn.Program
 	// AuxPredicates lists the auxiliary predicate keys introduced by the
@@ -70,6 +83,65 @@ func (r *Rewriting) String() string {
 		fmt.Fprintf(&b, "%s.\n", seed)
 	}
 	return b.String()
+}
+
+// Parameterize re-instantiates the rewriting for a query of the same form —
+// same predicate, binding pattern, sip and rewriting options — whose bound
+// constants are bound, in Query.BoundConstants() order. It returns the seed
+// facts and the answer-selection pattern for the new constants; the
+// rewritten program itself is form-invariant (the query's constants occur
+// only in the seeds and the answer selection), which is what lets a serving
+// layer compile it once and evaluate it per call.
+func (r *Rewriting) Parameterize(bound []ast.Term) (seeds []ast.Atom, answer ast.Atom, err error) {
+	if len(r.SeedBoundArgs) != len(r.Seeds) {
+		return nil, ast.Atom{}, fmt.Errorf("rewrite: rewriting %s carries no parameterization schema", r.Name)
+	}
+	want := 0
+	for _, positions := range r.SeedBoundArgs {
+		if len(positions) > want {
+			want = len(positions)
+		}
+	}
+	if len(r.AnswerBoundArgs) > want {
+		want = len(r.AnswerBoundArgs)
+	}
+	if len(bound) != want {
+		return nil, ast.Atom{}, fmt.Errorf("rewrite: query form has %d bound constants, got %d", want, len(bound))
+	}
+	for i, t := range bound {
+		if !ast.IsGround(t) {
+			return nil, ast.Atom{}, fmt.Errorf("rewrite: bound constant %d (%s) is not ground", i, t)
+		}
+	}
+	seeds = make([]ast.Atom, len(r.Seeds))
+	for i, seed := range r.Seeds {
+		args := append([]ast.Term(nil), seed.Args...)
+		for k, pos := range r.SeedBoundArgs[i] {
+			args[pos] = bound[k]
+		}
+		seeds[i] = ast.Atom{Pred: seed.Pred, Adorn: seed.Adorn, Args: args}
+	}
+	pargs := append([]ast.Term(nil), r.AnswerPattern.Args...)
+	for k, pos := range r.AnswerBoundArgs {
+		if pos >= 0 {
+			pargs[pos] = bound[k]
+		}
+	}
+	answer = ast.Atom{Pred: r.AnswerPattern.Pred, Adorn: r.AnswerPattern.Adorn, Args: pargs}
+	return seeds, answer, nil
+}
+
+// QueryBoundPositions returns the positions of the ground (bound) arguments
+// of the adorned program's query atom, in order — the positions
+// Parameterize's bound constants correspond to.
+func QueryBoundPositions(ad *adorn.Program) []int {
+	var out []int
+	for i, arg := range ad.Query.Atom.Args {
+		if ast.IsGround(arg) {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Rewriter transforms an adorned program into an equivalent program whose

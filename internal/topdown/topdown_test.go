@@ -9,6 +9,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/database"
 	"repro/internal/eval"
+	"repro/internal/intern"
 	"repro/internal/parser"
 	"repro/internal/sip"
 )
@@ -162,9 +163,52 @@ func TestGoalKeyAndString(t *testing.T) {
 	if g.String() != "anc^bf(john)" {
 		t.Errorf("String = %s", g.String())
 	}
+	keys := intern.NewTable()
 	other := Goal{Pred: "anc^bf", Bound: []ast.Term{ast.S("johnny")}}
-	if g.Key() == other.Key() {
+	if g.Key(keys) == other.Key(keys) {
 		t.Error("distinct goals must have distinct keys")
+	}
+}
+
+// TestGoalKeysScopedToEvaluation checks that memoizing a query's constants
+// interns into the evaluation's own symbol table: the process-wide table
+// must not grow, so a long-lived server running the top-down strategy does
+// not leak one table entry per distinct constant ever queried.
+func TestGoalKeysScopedToEvaluation(t *testing.T) {
+	ad := adorned(t, ancestorSrc, "anc(n0, Y)")
+	before := intern.Global().Len()
+	res, err := Evaluate(ad, parentChain(30), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("expected answers")
+	}
+	if after := intern.Global().Len(); after != before {
+		t.Errorf("process-wide intern table grew from %d to %d entries during a top-down evaluation", before, after)
+	}
+	// The result can still probe its own goal set.
+	g := Goal{Pred: ad.QueryPred, Bound: ad.Query.BoundConstants()}
+	if _, ok := res.Goals[res.GoalKey(g)]; !ok {
+		t.Error("query goal not found under its own evaluation key")
+	}
+}
+
+// TestMaxDerivationsAndMemoLimits exercises the limits added for the facade
+// mapping: MaxDerivations bounds rule-body instantiations, MaxMemo the
+// combined goal + answer memo size.
+func TestMaxDerivationsAndMemoLimits(t *testing.T) {
+	ad := adorned(t, ancestorSrc, "anc(n0, Y)")
+	_, err := Evaluate(ad, parentChain(50), Options{MaxDerivations: 10})
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("expected ErrLimitExceeded with MaxDerivations, got %v", err)
+	}
+	_, err = Evaluate(ad, parentChain(50), Options{MaxMemo: 8})
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("expected ErrLimitExceeded with MaxMemo, got %v", err)
+	}
+	if _, err := Evaluate(ad, parentChain(5), Options{MaxDerivations: 100000, MaxMemo: 100000}); err != nil {
+		t.Errorf("generous limits must not trip, got %v", err)
 	}
 }
 
