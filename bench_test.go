@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -548,4 +549,64 @@ func BenchmarkPreparedQuery(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFirstN measures time-to-first-answer on the transitive-closure
+// point query a(n10, Y) over a 300-node chain (290 answers; the full
+// fixpoint derives tens of thousands of tuples). "full" materializes the
+// whole result through Run; "stream-first-1" consumes one row of a Stream
+// whose form carries FirstN = 1, so the evaluation itself is cut off within
+// one delta round of the first answer. The gap between the two is the cost
+// the old all-or-nothing API imposed on existence-style point queries.
+func BenchmarkFirstN(b *testing.B) {
+	eng, err := datalog.NewEngine(ancestorSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := eng.Assert("p", fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	for _, strat := range []datalog.Strategy{datalog.MagicSets, datalog.SemiNaive} {
+		full, err := eng.Prepare("a(n10, Y)", datalog.Options{Strategy: strat})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, err := eng.Prepare("a(n10, Y)", datalog.Options{Strategy: strat, FirstN: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("full/%s", strat), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := full.RunCtx(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Answers) != 290 {
+					b.Fatalf("answers = %d", len(res.Answers))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("stream-first-1/%s", strat), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows := 0
+				for row, err := range first.Stream(ctx) {
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(row) != 1 {
+						b.Fatalf("row = %v", row)
+					}
+					rows++
+				}
+				if rows != 1 {
+					b.Fatalf("streamed %d rows, want 1", rows)
+				}
+			}
+		})
+	}
 }

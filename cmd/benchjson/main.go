@@ -7,10 +7,13 @@
 //
 //	go test -bench . -benchmem -run '^$' . | benchjson -out BENCH_2026-07-30.json
 //
-// Lines that are not benchmark results (headers, PASS/ok trailers, custom
-// metrics) are ignored. Each result line contributes one record with the
-// benchmark name, iterations, ns/op and — when -benchmem is on — B/op and
-// allocs/op.
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored. Each result line contributes one record with the benchmark name,
+// iterations, ns/op and — when -benchmem is on — B/op and allocs/op. Custom
+// metrics reported with b.ReportMetric (the facts / aux-facts / answers
+// counters of the experiment benchmarks) are archived under "metrics" keyed
+// by their unit, so the JSON record preserves every per-benchmark number
+// the suite emits.
 package main
 
 import (
@@ -31,6 +34,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the custom b.ReportMetric values of the line, keyed by
+	// unit (e.g. "facts", "answers").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -115,7 +121,7 @@ func parseLine(line string) (Result, bool) {
 		if err != nil {
 			return Result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 			seenNs = true
@@ -123,6 +129,11 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
 		}
 	}
 	return r, seenNs

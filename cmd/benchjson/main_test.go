@@ -40,6 +40,13 @@ func TestParse(t *testing.T) {
 	if results[1].AllocsPerOp != 0 {
 		t.Errorf("second record allocs = %v, want 0 (not measured)", results[1].AllocsPerOp)
 	}
+	// The b.ReportMetric units are archived under Metrics.
+	if got := results[1].Metrics; got["facts"] != 51 || got["answers"] != 50 {
+		t.Errorf("second record metrics = %v, want facts=51 answers=50", got)
+	}
+	if results[0].Metrics != nil {
+		t.Errorf("first record metrics = %v, want none", results[0].Metrics)
+	}
 }
 
 func TestRunWritesFile(t *testing.T) {

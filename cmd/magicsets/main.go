@@ -7,7 +7,7 @@
 //	          [-strategy magic] [-sip full] [-semijoin] \
 //	          [-show-rewrite] [-show-safety] [-stats] \
 //	          [-max-iterations N] [-max-facts N] [-max-derivations N] \
-//	          [-repeat N]
+//	          [-repeat N] [-timeout D] [-first-n N] [-stream]
 //
 // The program file contains rules (and optionally facts); the facts file
 // contains ground facts only. The query is a single atom whose constant
@@ -19,9 +19,17 @@
 // is reported: the adorn/rewrite/compile work happens on the first run
 // only, so this flag demonstrates the prepare-once/run-many cost profile
 // of the engine.
+//
+// -timeout bounds the wall-clock time of the evaluation through a
+// context.Context deadline (the reliable way to observe a divergent
+// counting query without guessing iteration limits), -first-n stops the
+// evaluation as soon as N answers exist, and -stream consumes the answers
+// through the typed streaming cursor instead of the materialized result.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +45,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "magicsets:", err)
 		os.Exit(1)
 	}
+}
+
+// trimTuple strips exactly the outer parentheses of a rendered answer
+// tuple. strings.Trim would eat trailing parens belonging to a compound
+// value such as "(pair(a, b))".
+func trimTuple(s string) string {
+	s = strings.TrimPrefix(s, "(")
+	return strings.TrimSuffix(s, ")")
+}
+
+// describeInterrupt dresses a deadline error with a hint that -timeout (not
+// a bug) cut the evaluation off; other errors pass through.
+func describeInterrupt(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("evaluation exceeded -timeout: %w", err)
+	}
+	return err
 }
 
 func run(args []string, out io.Writer) error {
@@ -56,6 +81,9 @@ func run(args []string, out io.Writer) error {
 	maxFacts := fs.Int("max-facts", 0, "bound the number of derived facts (0 = unlimited)")
 	maxDerivations := fs.Int64("max-derivations", 0, "bound the number of rule firings (0 = unlimited)")
 	repeat := fs.Int("repeat", 1, "prepare the query once and run it N times, reporting the amortized per-run time")
+	timeout := fs.Duration("timeout", 0, "bound the wall-clock evaluation time via a context deadline (0 = none)")
+	firstN := fs.Int("first-n", 0, "stop the evaluation once N answers exist (0 = all answers)")
+	stream := fs.Bool("stream", false, "consume the answers through the streaming cursor")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,6 +123,34 @@ func run(args []string, out io.Writer) error {
 		MaxIterations:  *maxIterations,
 		MaxFacts:       *maxFacts,
 		MaxDerivations: *maxDerivations,
+		FirstN:         *firstN,
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *stream {
+		if *showRewrite || *showSafety || *showStats || *repeat > 1 {
+			return fmt.Errorf("-stream yields rows only; it cannot be combined with -show-rewrite, -show-safety, -stats or -repeat")
+		}
+		pq, err := eng.Prepare(*query, opts)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for row, err := range pq.Stream(ctx) {
+			if err != nil {
+				return describeInterrupt(err)
+			}
+			fmt.Fprintln(out, trimTuple(row.String()))
+			n++
+		}
+		fmt.Fprintf(out, "%% %d answer(s) streamed for %s\n", n, *query)
+		return nil
 	}
 
 	var res *datalog.Result
@@ -105,8 +161,8 @@ func run(args []string, out io.Writer) error {
 		}
 		start := time.Now()
 		for i := 0; i < *repeat; i++ {
-			if res, err = pq.Run(); err != nil {
-				return err
+			if res, err = pq.RunCtx(ctx); err != nil {
+				return describeInterrupt(err)
 			}
 		}
 		elapsed := time.Since(start)
@@ -114,8 +170,8 @@ func run(args []string, out io.Writer) error {
 			*repeat, float64(elapsed.Microseconds())/float64(*repeat), float64(elapsed.Microseconds())/1000)
 	} else {
 		var err error
-		if res, err = eng.Query(*query, opts); err != nil {
-			return err
+		if res, err = eng.QueryCtx(ctx, *query, opts); err != nil {
+			return describeInterrupt(err)
 		}
 	}
 
@@ -138,7 +194,7 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "%% %d answer(s) to %s\n", len(res.Answers), *query)
 	for _, a := range res.Answers {
-		fmt.Fprintln(out, strings.Trim(a.String(), "()"))
+		fmt.Fprintln(out, trimTuple(a.String()))
 	}
 
 	if *showStats {
@@ -159,6 +215,9 @@ func run(args []string, out io.Writer) error {
 		if s.CompiledPlans > 0 {
 			fmt.Fprintf(out, "%%   compiled plans:  %d (%d ops)\n", s.CompiledPlans, s.PlanOps)
 			fmt.Fprintf(out, "%%   pipeline ops:    %d probes, %d scans\n", s.OpProbes, s.OpScans)
+		}
+		if s.StoppedEarly {
+			fmt.Fprintf(out, "%%   stopped early:   after %d answer(s) (-first-n)\n", len(res.Answers))
 		}
 	}
 	return nil

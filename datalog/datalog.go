@@ -6,7 +6,8 @@
 // the sip collection into the program, and plain bottom-up evaluation of the
 // rewritten program.
 //
-// A typical use:
+// A typical use — queries run under a context.Context, and answers come
+// back as typed values:
 //
 //	eng, err := datalog.NewEngine(`
 //	    anc(X, Y) :- par(X, Y).
@@ -14,10 +15,23 @@
 //	`)
 //	if err != nil { ... }
 //	if err := eng.AssertText(`par(john, mary). par(mary, sue).`); err != nil { ... }
-//	res, err := eng.Query("anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets})
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, err := eng.QueryCtx(ctx, "anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets})
+//	if err != nil { ... }
 //	for _, a := range res.Answers {
-//	    fmt.Println(a.Values) // ["mary"], ["sue"]
+//	    if name, ok := a.Vals[0].Symbol(); ok {
+//	        fmt.Println(name) // mary, sue
+//	    }
 //	}
+//
+// The context is threaded through the fixpoint loops of every strategy and
+// checked both between iterations and every few thousand rule firings, so a
+// deadline or cancellation interrupts even a divergent evaluation promptly;
+// the returned error wraps ctx.Err() (test with errors.Is against
+// context.Canceled or context.DeadlineExceeded) and is distinct from
+// ErrLimitExceeded, which still reports an exhausted Options limit.
 //
 // The available strategies cover the whole design space the paper compares:
 // naive and semi-naive bottom-up evaluation of the unrewritten program, the
@@ -26,7 +40,7 @@
 // supplementary counting rewritings, with full or partial left-to-right sips
 // and the optional semijoin optimization of the counting methods.
 //
-// # Prepare once, run many
+// # Prepare once, run many, stream what you need
 //
 // The rewriting depends only on the query *form* — the predicate and its
 // binding pattern — while the constants occur only in the seed facts and
@@ -35,21 +49,35 @@
 //
 //	pq, err := eng.Prepare("anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets})
 //	if err != nil { ... }
-//	res, _ := pq.Run()            // the prepared constants: anc(john, Y)
-//	res, _ = pq.Run("mary")       // same compiled form, new constant: anc(mary, Y)
+//	res, _ := pq.RunCtx(ctx)        // the prepared constants: anc(john, Y)
+//	res, _ = pq.RunCtx(ctx, "mary") // same compiled form, new constant: anc(mary, Y)
+//
+// A caller that does not need the whole answer set ranges over a streaming
+// cursor instead; with Options.FirstN the engine also stops the fixpoint
+// itself as soon as enough answers exist, which is what makes
+// existence-style point queries cheap:
+//
+//	pq, _ = eng.Prepare("anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets, FirstN: 1})
+//	for row, err := range pq.Stream(ctx) {
+//	    if err != nil { ... }
+//	    name, _ := row[0].Symbol()
+//	    fmt.Println(name) // the first ancestor found — evaluation stopped early
+//	}
 //
 // Parse, adornment, rewriting and the compilation of the bottom-up join
-// pipelines all happen in Prepare; each Run only parameterizes the seeds
+// pipelines all happen in Prepare; each run only parameterizes the seeds
 // and evaluates against a copy-on-write overlay of the engine's store, so
 // no call copies the extensional database. Engine.Query uses the same
 // machinery through a transparent per-engine cache keyed by query form
 // (Stats.PlanCacheHit reports a hit), so even one-shot callers pay the
 // per-form work once. Engines, queries and prepared runs are safe for
-// concurrent use; Assert is serialized against in-flight evaluations and
-// becomes visible to the next Run without invalidating prepared forms.
+// concurrent use; Assert and Retract are serialized against in-flight
+// evaluations and become visible to the next run without invalidating
+// prepared forms.
 package datalog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -163,6 +191,15 @@ type Options struct {
 	MaxIterations  int
 	MaxFacts       int
 	MaxDerivations int64
+	// FirstN, when positive, stops the evaluation as soon as N answers
+	// exist and caps Result.Answers (and the rows a Stream yields) at N.
+	// For the bottom-up strategies the answer relation is checked between
+	// fixpoint rounds, so the engine stops within one delta round of the
+	// N-th answer instead of running to fixpoint; the top-down strategy
+	// unwinds mid-pass. Stats.StoppedEarly reports that the cutoff fired.
+	// Like the Max limits it is a run-time option: it does not change the
+	// prepared query form.
+	FirstN int
 }
 
 // ErrLimitExceeded is returned (wrapped) when evaluation exceeds a limit set
@@ -172,7 +209,16 @@ var ErrLimitExceeded = errors.New("datalog: evaluation limit exceeded")
 // Answer is a single answer to a query: the values of the query's free
 // variables, in the order those variables appear in the query.
 type Answer struct {
+	// Vals holds the typed answer values, surfaced directly from the
+	// engine's interned constants: inspect them with Value.Kind, Value.Int,
+	// Value.Symbol and Value.Compound, or render with Value.String.
+	Vals Row
 	// Values holds the answer terms rendered in source syntax.
+	//
+	// Deprecated: Values is the pre-rendered view of Vals
+	// (Values[i] == Vals[i].String()), kept for compatibility; new code
+	// should read the typed Vals, and streaming callers should range over
+	// PreparedQuery.Stream, which never renders at all.
 	Values []string
 }
 
@@ -233,6 +279,10 @@ type Stats struct {
 	// PreparedQuery.Run skips parsing too), and CompiledPlans counts only
 	// pipelines compiled fresh during this run — 0 once the form is warm.
 	PlanCacheHit bool
+	// StoppedEarly reports that Options.FirstN cut the evaluation off
+	// before it reached a fixpoint: the answers returned are sound but the
+	// derived-fact counters describe a truncated evaluation.
+	StoppedEarly bool
 }
 
 // TotalFacts returns DerivedFacts + AuxFacts.
@@ -346,6 +396,44 @@ func (e *Engine) Assert(pred string, args ...any) error {
 	return err
 }
 
+// Retract deletes a single ground fact given as predicate name and constant
+// arguments (the mirror of Assert: strings become symbolic constants,
+// int64/int become integers). Retracting a fact that is not stored is a
+// no-op. Like Assert it takes the engine's write lock, so it is serialized
+// against in-flight evaluations, and prepared query forms survive unchanged
+// — the next run simply sees the shrunken database.
+func (e *Engine) Retract(pred string, args ...any) error {
+	terms, err := constantTerms(args)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err = e.store.RemoveFact(ast.NewAtom(pred, terms...))
+	return err
+}
+
+// RetractText parses ground facts (e.g. "par(john, mary). par(mary, sue).")
+// and deletes each of them from the store; facts that are not stored are
+// skipped. It is the mirror of AssertText.
+func (e *Engine) RetractText(factsSrc string) error {
+	unit, err := parser.Parse(factsSrc)
+	if err != nil {
+		return fmt.Errorf("datalog: %w", err)
+	}
+	if len(unit.Rules) > 0 || len(unit.Queries) > 0 {
+		return fmt.Errorf("datalog: RetractText accepts facts only")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, a := range unit.Facts {
+		if _, err := e.store.RemoveFact(a); err != nil {
+			return fmt.Errorf("datalog: %w", err)
+		}
+	}
+	return nil
+}
+
 // FactCount returns the number of facts currently stored for a predicate.
 func (e *Engine) FactCount(pred string) int {
 	e.mu.RLock()
@@ -391,12 +479,21 @@ func rewriter(opts Options) (rewrite.Rewriter, error) {
 }
 
 // Query evaluates a query such as "anc(john, Y)" with the given options.
-// Internally it runs through the engine's prepared-form cache: the first
-// query of a form pays for parse → adorn → rewrite → compile, repeat
-// queries of the same form (same predicate, binding pattern, strategy and
-// sip — the constants may differ) reuse the cached preparation and only
-// evaluate. Stats.PlanCacheHit reports which case a result was.
+// It is QueryCtx with a background context.
 func (e *Engine) Query(querySrc string, opts Options) (*Result, error) {
+	return e.QueryCtx(context.Background(), querySrc, opts)
+}
+
+// QueryCtx evaluates a query such as "anc(john, Y)" with the given options,
+// under the caller's context: a deadline or cancellation interrupts the
+// evaluation (whatever the strategy) and the returned error wraps ctx.Err(),
+// distinct from ErrLimitExceeded. Internally the query runs through the
+// engine's prepared-form cache: the first query of a form pays for
+// parse → adorn → rewrite → compile, repeat queries of the same form (same
+// predicate, binding pattern, strategy and sip — the constants may differ)
+// reuse the cached preparation and only evaluate. Stats.PlanCacheHit reports
+// which case a result was.
+func (e *Engine) QueryCtx(ctx context.Context, querySrc string, opts Options) (*Result, error) {
 	q, err := parser.ParseQuery(querySrc)
 	if err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
@@ -406,7 +503,7 @@ func (e *Engine) Query(querySrc string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return pq.run(q.BoundConstants(), opts, hit)
+	return pq.runMaterialized(ctx, q.BoundConstants(), opts, hit)
 }
 
 // Rewrite returns the rewritten program (and its seeds) for a query without
@@ -513,18 +610,7 @@ func fillEvalStats(dst *Stats, stats *eval.Stats) {
 	dst.PlanOps = stats.PlanOps
 	dst.OpProbes = stats.OpProbes
 	dst.OpScans = stats.OpScans
-}
-
-func renderAnswers(tuples []database.Tuple) []Answer {
-	out := make([]Answer, 0, len(tuples))
-	for _, t := range tuples {
-		vals := make([]string, len(t))
-		for i, term := range t {
-			vals[i] = term.String()
-		}
-		out = append(out, Answer{Values: vals})
-	}
-	return out
+	dst.StoppedEarly = stats.StoppedEarly
 }
 
 func wrapLimit(err error) error {

@@ -13,7 +13,9 @@ package datalog
 
 import (
 	"container/list"
+	"context"
 	"fmt"
+	"iter"
 	"strings"
 	"sync"
 
@@ -96,27 +98,76 @@ func normalizeOptions(opts *Options) {
 	}
 }
 
-// Run evaluates the prepared query against the engine's current facts.
-// With no arguments the constants of the prepared query text are used; with
-// arguments, they replace the query's bound constants positionally (strings
-// become symbolic constants, int/int64 become integers, exactly as in
-// Engine.Assert). Run is safe for concurrent use, also with other prepared
-// queries and with Engine.Query; Engine.Assert blocks until in-flight runs
-// finish and vice versa.
+// Run evaluates the prepared query against the engine's current facts. It
+// is RunCtx with a background context.
 func (pq *PreparedQuery) Run(args ...any) (*Result, error) {
-	bound := pq.boundConstants()
-	if len(args) > 0 {
-		terms, err := constantTerms(args)
-		if err != nil {
-			return nil, err
-		}
-		if len(terms) != len(pq.boundPos) {
-			return nil, fmt.Errorf("datalog: query form %s has %d bound argument(s), got %d",
-				pq.atom.Pred, len(pq.boundPos), len(terms))
-		}
-		bound = terms
+	return pq.RunCtx(context.Background(), args...)
+}
+
+// RunCtx evaluates the prepared query against the engine's current facts,
+// under the caller's context: a deadline or cancellation interrupts the
+// evaluation and the returned error wraps ctx.Err(), distinct from
+// ErrLimitExceeded. With no arguments the constants of the prepared query
+// text are used; with arguments, they replace the query's bound constants
+// positionally (strings become symbolic constants, int/int64 become
+// integers, exactly as in Engine.Assert). RunCtx is safe for concurrent
+// use, also with other prepared queries and with Engine.Query;
+// Engine.Assert and Engine.Retract block until in-flight runs finish and
+// vice versa.
+func (pq *PreparedQuery) RunCtx(ctx context.Context, args ...any) (*Result, error) {
+	bound, err := pq.resolveArgs(args)
+	if err != nil {
+		return nil, err
 	}
-	return pq.run(bound, pq.opts, true)
+	return pq.runMaterialized(ctx, bound, pq.opts, true)
+}
+
+// Stream evaluates the prepared query and returns a cursor over its
+// answers: an iterator yielding one typed Row per answer, in discovery
+// order, without ever rendering values to strings. Combined with
+// Options.FirstN the evaluation itself is cut off as soon as enough answers
+// exist, so the time to the first yielded row of a point query is the time
+// to derive one answer, not the whole answer set. The engine's read lock is
+// released before the first yield, so a consumer may process rows at its
+// own pace (the yielded values remain valid indefinitely).
+//
+// Evaluation errors — a context cancellation, an exceeded limit — are
+// yielded as the final (nil, err) pair after the sound answers found before
+// the interruption; a break inside the loop simply abandons the rest.
+func (pq *PreparedQuery) Stream(ctx context.Context, args ...any) iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		bound, err := pq.resolveArgs(args)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		_, rows, err := pq.runCore(ctx, bound, pq.opts, true)
+		for _, row := range rows {
+			if !yield(row, nil) {
+				return
+			}
+		}
+		if err != nil {
+			yield(nil, err)
+		}
+	}
+}
+
+// resolveArgs maps RunCtx/Stream arguments onto the query form's bound
+// constants, defaulting to the constants of the prepared query text.
+func (pq *PreparedQuery) resolveArgs(args []any) ([]ast.Term, error) {
+	if len(args) == 0 {
+		return pq.boundConstants(), nil
+	}
+	terms, err := constantTerms(args)
+	if err != nil {
+		return nil, err
+	}
+	if len(terms) != len(pq.boundPos) {
+		return nil, fmt.Errorf("datalog: query form %s has %d bound argument(s), got %d",
+			pq.atom.Pred, len(pq.boundPos), len(terms))
+	}
+	return terms, nil
 }
 
 // boundConstants returns the ground arguments of the prepared query atom.
@@ -355,23 +406,48 @@ func (e *Engine) prepare(q ast.Query, opts Options) (*preparedForm, error) {
 	return form, nil
 }
 
-// run evaluates the prepared form for one set of bound constants. opts
-// carries the caller's run-time limits; its form-shaping fields are the
-// ones the form was prepared with. cacheHit is surfaced as
-// Stats.PlanCacheHit.
-func (pq *PreparedQuery) run(bound []ast.Term, opts Options, cacheHit bool) (*Result, error) {
+// runMaterialized evaluates the prepared form and fills Result.Answers —
+// the typed values plus the deprecated rendered view — from the answer
+// rows. Streaming goes through runCore directly and skips the rendering.
+func (pq *PreparedQuery) runMaterialized(ctx context.Context, bound []ast.Term, opts Options, cacheHit bool) (*Result, error) {
+	res, rows, err := pq.runCore(ctx, bound, opts, cacheHit)
+	if res != nil {
+		res.Answers = answersFromRows(rows)
+	}
+	return res, err
+}
+
+// runCore evaluates the prepared form for one set of bound constants and
+// returns the result shell (stats, rewriting echo, safety) alongside the
+// typed answer rows. opts carries the caller's run-time limits; its
+// form-shaping fields are the ones the form was prepared with. cacheHit is
+// surfaced as Stats.PlanCacheHit.
+func (pq *PreparedQuery) runCore(ctx context.Context, bound []ast.Term, opts Options, cacheHit bool) (*Result, []Row, error) {
 	for i, t := range bound {
 		if !ast.IsGround(t) {
-			return nil, fmt.Errorf("datalog: bound argument %d (%s) is not ground", i, t)
+			return nil, nil, fmt.Errorf("datalog: bound argument %d (%s) is not ground", i, t)
 		}
 	}
 	switch pq.opts.Strategy {
 	case Naive, SemiNaive:
-		return pq.runDirect(bound, opts, cacheHit)
+		return pq.runDirect(ctx, bound, opts, cacheHit)
 	case TopDown:
-		return pq.runTopDown(bound, opts, cacheHit)
+		return pq.runTopDown(ctx, bound, opts, cacheHit)
 	default:
-		return pq.runRewritten(bound, opts, cacheHit)
+		return pq.runRewritten(ctx, bound, opts, cacheHit)
+	}
+}
+
+// stopAfterN builds the StopEarly predicate for Options.FirstN: evaluation
+// is cut off once the answer relation holds N tuples matching the answer
+// pattern. Counting probes the relation's bound-column index, so the
+// between-rounds check is a hash lookup, not a scan.
+func stopAfterN(n int, predKey string, pattern ast.Atom) func(*database.Store) bool {
+	if n <= 0 {
+		return nil
+	}
+	return func(s *database.Store) bool {
+		return eval.CountAnswers(s, predKey, pattern) >= n
 	}
 }
 
@@ -399,38 +475,48 @@ func (f *preparedForm) safetyCopy() *SafetyReport {
 
 // runDirect evaluates the unrewritten program bottom-up and selects the
 // answers matching the instantiated query atom.
-func (pq *PreparedQuery) runDirect(bound []ast.Term, opts Options, cacheHit bool) (*Result, error) {
+func (pq *PreparedQuery) runDirect(ctx context.Context, bound []ast.Term, opts Options, cacheHit bool) (*Result, []Row, error) {
 	e := pq.eng
+	atom := pq.atomWith(bound)
+	evalOpts := e.evalOptions(opts)
+	evalOpts.StopEarly = stopAfterN(opts.FirstN, atom.PredKey(), atom)
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	var store *database.Store
 	var stats *eval.Stats
 	var err error
 	if pq.opts.Strategy == Naive {
-		store, stats, err = pq.form.prepared.EvaluateNaive(e.store, nil, e.evalOptions(opts))
+		store, stats, err = pq.form.prepared.EvaluateNaiveCtx(ctx, e.store, nil, evalOpts)
 	} else {
-		store, stats, err = pq.form.prepared.Evaluate(e.store, nil, e.evalOptions(opts))
+		store, stats, err = pq.form.prepared.EvaluateCtx(ctx, e.store, nil, evalOpts)
 	}
 	res := &Result{}
 	pq.stampStats(res, cacheHit, false)
 	fillEvalStats(&res.Stats, stats)
+	var rows []Row
 	if store != nil {
 		for _, key := range pq.form.derivedKeys {
 			res.Stats.DerivedFacts += store.FactCount(key)
 		}
-		atom := pq.atomWith(bound)
-		res.Answers = renderAnswers(eval.Answers(store, atom.PredKey(), atom))
+		rows = pq.answerRows(store, atom.PredKey(), atom, opts.FirstN)
 	}
 	if err != nil {
-		return res, wrapLimit(err)
+		return res, rows, wrapLimit(err)
 	}
-	return res, nil
+	return res, rows, nil
+}
+
+// answerRows reads the typed answer rows out of an evaluated store, capped
+// at limit when positive.
+func (pq *PreparedQuery) answerRows(store *database.Store, predKey string, pattern ast.Atom, limit int) []Row {
+	rd := store.Table().Reader()
+	return rowsFromIDs(&rd, eval.AnswerRows(store, predKey, pattern, limit))
 }
 
 // runTopDown runs the memoizing top-down reference strategy with the
 // adorned program prepared for the form and the query atom re-instantiated
 // for this call's constants.
-func (pq *PreparedQuery) runTopDown(bound []ast.Term, opts Options, cacheHit bool) (*Result, error) {
+func (pq *PreparedQuery) runTopDown(ctx context.Context, bound []ast.Term, opts Options, cacheHit bool) (*Result, []Row, error) {
 	e := pq.eng
 	// The adorned program is shared and immutable; only the query differs
 	// per call, so evaluate a shallow copy carrying the new query atom.
@@ -440,41 +526,47 @@ func (pq *PreparedQuery) runTopDown(bound []ast.Term, opts Options, cacheHit boo
 		// Each facade limit maps to its top-down counterpart: MaxFacts
 		// bounds the memo tables (goals + answers, like the bottom-up limit
 		// counts aux + derived facts), MaxIterations the fixpoint passes,
-		// and MaxDerivations the rule-body instantiations.
+		// MaxDerivations the rule-body instantiations, and FirstN
+		// short-circuits the answer enumeration for the original query.
 		MaxMemo:        opts.MaxFacts,
 		MaxPasses:      opts.MaxIterations,
 		MaxDerivations: opts.MaxDerivations,
+		FirstN:         opts.FirstN,
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	tres, err := topdown.Evaluate(&ad, e.store, tdOpts)
+	tres, err := topdown.EvaluateCtx(ctx, &ad, e.store, tdOpts)
 	res := &Result{Safety: pq.form.safetyCopy()}
 	pq.stampStats(res, cacheHit, true)
+	var rows []Row
 	if tres != nil {
-		res.Answers = renderAnswers(tres.Answers)
+		rows = rowsFromTuples(tres.Answers)
 		res.Stats.DerivedFacts = tres.Stats.Answers
 		res.Stats.AuxFacts = tres.Stats.Queries
 		res.Stats.Derivations = tres.Stats.Derivations
 		res.Stats.Iterations = tres.Stats.Passes
+		res.Stats.StoppedEarly = tres.Stats.StoppedEarly
 	}
 	if err != nil {
-		return res, wrapLimit(err)
+		return res, rows, wrapLimit(err)
 	}
-	return res, nil
+	return res, rows, nil
 }
 
 // runRewritten evaluates the precompiled rewritten program with the seed
 // facts re-instantiated for this call's constants, over a copy-on-write
 // overlay of the engine's store.
-func (pq *PreparedQuery) runRewritten(bound []ast.Term, opts Options, cacheHit bool) (*Result, error) {
+func (pq *PreparedQuery) runRewritten(ctx context.Context, bound []ast.Term, opts Options, cacheHit bool) (*Result, []Row, error) {
 	e := pq.eng
 	seeds, pattern, err := pq.form.rewriting.Parameterize(bound)
 	if err != nil {
-		return nil, fmt.Errorf("datalog: %w", err)
+		return nil, nil, fmt.Errorf("datalog: %w", err)
 	}
+	evalOpts := e.evalOptions(opts)
+	evalOpts.StopEarly = stopAfterN(opts.FirstN, pq.form.rewriting.AnswerPred, pattern)
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	store, stats, evalErr := pq.form.prepared.Evaluate(e.store, seeds, e.evalOptions(opts))
+	store, stats, evalErr := pq.form.prepared.EvaluateCtx(ctx, e.store, seeds, evalOpts)
 
 	res := &Result{RewrittenProgram: pq.form.rewrittenSrc, Safety: pq.form.safetyCopy()}
 	pq.stampStats(res, cacheHit, true)
@@ -483,6 +575,7 @@ func (pq *PreparedQuery) runRewritten(bound []ast.Term, opts Options, cacheHit b
 		res.Seeds = append(res.Seeds, s.String())
 	}
 	fillEvalStats(&res.Stats, stats)
+	var rows []Row
 	if store != nil {
 		for _, key := range pq.form.derivedKeys {
 			res.Stats.DerivedFacts += store.FactCount(key)
@@ -490,10 +583,10 @@ func (pq *PreparedQuery) runRewritten(bound []ast.Term, opts Options, cacheHit b
 		for _, key := range pq.form.auxKeys {
 			res.Stats.AuxFacts += store.FactCount(key)
 		}
-		res.Answers = renderAnswers(eval.Answers(store, pq.form.rewriting.AnswerPred, pattern))
+		rows = pq.answerRows(store, pq.form.rewriting.AnswerPred, pattern, opts.FirstN)
 	}
 	if evalErr != nil {
-		return res, wrapLimit(evalErr)
+		return res, rows, wrapLimit(evalErr)
 	}
-	return res, nil
+	return res, rows, nil
 }

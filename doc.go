@@ -20,9 +20,18 @@
 //
 // The facade is a serving layer: query forms (predicate + binding pattern +
 // strategy + sip) are adorned, rewritten and compiled once — explicitly via
-// Engine.Prepare / PreparedQuery.Run, or transparently through the form
-// cache inside Engine.Query — and each run evaluates the shared compiled
+// Engine.Prepare / PreparedQuery.RunCtx, or transparently through the form
+// cache inside Engine.QueryCtx — and each run evaluates the shared compiled
 // pipelines against a copy-on-write overlay of the store, so repeated
 // queries never re-rewrite the program or copy the extensional database.
-// Engines are safe for concurrent queries interleaved with asserts.
+// Every run takes a context.Context, threaded through the fixpoint loops of
+// all strategies and checked at iteration and per-N-derivation granularity,
+// so request deadlines interrupt even divergent evaluations; the wrapped
+// ctx error is distinct from datalog.ErrLimitExceeded. Answers come back as
+// typed datalog.Value trees surfaced straight from the interned constant
+// IDs (rendering to source syntax is lazy), and PreparedQuery.Stream yields
+// them as an iter.Seq2 cursor — with Options.FirstN the evaluation itself
+// stops as soon as N answers exist, checked between delta rounds, which is
+// what makes existence-style point queries cheap. Engines are safe for
+// concurrent queries interleaved with Assert and Retract.
 package repro

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/datalog"
 )
@@ -61,30 +63,58 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Explode the bicycle only.
-	parts, err := eng.Query("subpart(bicycle, P)", datalog.Options{Strategy: datalog.SupplementaryMagicSets})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Explode the bicycle only. A parts catalogue is queried per product, so
+	// prepare the form once and run it per item — here with the bound
+	// constant of the prepared text, then for any other product by argument.
+	explode, err := eng.Prepare("subpart(bicycle, P)", datalog.Options{Strategy: datalog.SupplementaryMagicSets})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := explode.RunCtx(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("sub-parts of the bicycle:")
 	for _, a := range parts.Answers {
-		fmt.Printf("  %s\n", a.Values[0])
+		fmt.Printf("  %s\n", a.Vals[0])
 	}
 
-	// Which suppliers are involved in the bicycle?
-	suppliers, err := eng.Query("certified_source(bicycle, S)", datalog.Options{Strategy: datalog.MagicSets})
+	// Which suppliers are involved in the bicycle? Stream the answers: rows
+	// come back as typed values straight from the interned store.
+	sources, err := eng.Prepare("certified_source(bicycle, S)", datalog.Options{Strategy: datalog.MagicSets})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nsuppliers involved in the bicycle:")
-	for _, a := range suppliers.Answers {
-		fmt.Printf("  %s\n", a.Values[0])
+	for row, err := range sources.Stream(ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		name, _ := row[0].Symbol()
+		fmt.Printf("  %s\n", name)
 	}
+
+	// An existence check ("is the car an assembly at all?") wants one
+	// answer, not the whole explosion: FirstN = 1 cuts the fixpoint off at
+	// the first sub-part instead of deriving the car's full part tree.
+	one, err := eng.Prepare("subpart(car, P)", datalog.Options{Strategy: datalog.MagicSets, FirstN: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, err := one.RunCtx(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe car is an assembly (first sub-part found: %s; evaluation stopped early: %v)\n",
+		first.Answers[0].Vals[0], first.Stats.StoppedEarly)
 
 	// Show that the restriction is real: the unrewritten bottom-up strategy
 	// also explodes the car and its certificates, the rewritten program only
 	// derives facts about the bicycle (plus its auxiliary magic facts).
-	naive, err := eng.Query("subpart(bicycle, P)", datalog.Options{Strategy: datalog.SemiNaive})
+	naive, err := eng.QueryCtx(ctx, "subpart(bicycle, P)", datalog.Options{Strategy: datalog.SemiNaive})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -56,7 +56,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("reverse([a, b, c, d]) = %s\n\n", res.Answers[0].Values[0])
+	fmt.Printf("reverse([a, b, c, d]) = %s\n", res.Answers[0].Vals[0])
+
+	// The answer is a typed compound value: walk the cons cells through the
+	// Value accessors instead of parsing the rendered string.
+	var elems []string
+	for v := res.Answers[0].Vals[0]; ; {
+		functor, args, ok := v.Compound()
+		if !ok || functor != "." || len(args) != 2 {
+			break
+		}
+		name, _ := args[0].Symbol()
+		elems = append(elems, name)
+		v = args[1]
+	}
+	fmt.Printf("walked structurally: %v\n\n", elems)
 	fmt.Println("rewritten program evaluated bottom-up:")
 	fmt.Print(res.RewrittenProgram)
 	for _, seed := range res.Seeds {

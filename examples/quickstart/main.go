@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/datalog"
 )
@@ -36,14 +38,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := eng.Query("anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets})
+	// Queries run under a context: a server would pass its request context
+	// here, and a runaway evaluation is cancelled at the deadline instead of
+	// running unbounded.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	res, err := eng.QueryCtx(ctx, "anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("ancestors related to john:")
 	for _, a := range res.Answers {
-		fmt.Printf("  anc(john, %s)\n", a.Values[0])
+		// Answers carry typed values: no string parsing to consume them.
+		if name, ok := a.Vals[0].Symbol(); ok {
+			fmt.Printf("  anc(john, %s)\n", name)
+		}
 	}
 
 	fmt.Println("\nthe rewritten program that was evaluated bottom-up:")
@@ -57,9 +68,22 @@ func main() {
 
 	// Compare with the naive strategy, which computes the whole anc relation
 	// (including bob's branch) before selecting.
-	naive, err := eng.Query("anc(john, Y)", datalog.Options{Strategy: datalog.Naive})
+	naive, err := eng.QueryCtx(ctx, "anc(john, Y)", datalog.Options{Strategy: datalog.Naive})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("naive bottom-up computed %d facts for the same three answers\n", naive.Stats.TotalFacts())
+
+	// An existence check needs just one answer: prepare the form and stream
+	// with FirstN = 1, and the fixpoint stops as soon as an ancestor exists.
+	pq, err := eng.Prepare("anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets, FirstN: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for row, err := range pq.Stream(ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("first ancestor streamed: %s\n", row[0])
+	}
 }

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/datalog"
 )
@@ -67,10 +69,15 @@ func main() {
 		{Strategy: datalog.SupplementaryCounting, Semijoin: true},
 	}
 
+	// One deadline covers the whole comparison; every strategy's fixpoint
+	// loop honors it.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	fmt.Printf("%-34s %8s %10s %10s %12s\n", "strategy", "answers", "facts", "aux", "derivations")
 	var first map[string]bool
 	for _, opts := range strategies {
-		res, err := eng.Query(query, opts)
+		res, err := eng.QueryCtx(ctx, query, opts)
 		if err != nil {
 			log.Fatalf("%s: %v", opts.Strategy, err)
 		}
@@ -96,13 +103,24 @@ func main() {
 		}
 	}
 
+	// Consume the answers through the streaming cursor: typed rows, no
+	// rendered []string view built at all.
 	fmt.Printf("\npeople of the same generation as g0_p0: ")
-	res, _ := eng.Query(query, datalog.Options{Strategy: datalog.MagicSets})
-	for i, a := range res.Answers {
+	pq, err := eng.Prepare(query, datalog.Options{Strategy: datalog.MagicSets})
+	if err != nil {
+		log.Fatal(err)
+	}
+	i := 0
+	for row, err := range pq.Stream(ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
 		if i > 0 {
 			fmt.Print(", ")
 		}
-		fmt.Print(a.Values[0])
+		name, _ := row[0].Symbol()
+		fmt.Print(name)
+		i++
 	}
 	fmt.Println()
 }

@@ -293,6 +293,57 @@ func (r *Relation) InsertRow(row []intern.ID) (bool, error) {
 // by the relation and must not be modified.
 func (r *Relation) Row(pos int) []intern.ID { return r.rows[pos] }
 
+// Delete removes a tuple from the relation, reporting whether it was
+// present. Deletion preserves the insertion order of the remaining tuples
+// but shifts their positions, so the full-row hash table's position lists
+// are fixed up (O(rows)) and all indexes are dropped (to be rebuilt lazily
+// on the next Lookup). It is an administrative-path operation: retracting m
+// facts costs m linear fixups, so a bulk-retraction workload large enough
+// to care should grow a batch-delete entry point that compacts once. Like
+// inserts, Delete is a single-writer operation: it must not run concurrently
+// with any other access to the relation (the engine calls it only under its
+// write lock, with no evaluation in flight).
+func (r *Relation) Delete(t Tuple) (bool, error) {
+	if len(t) != r.Arity {
+		return false, fmt.Errorf("relation %s: deleting tuple of arity %d from relation of arity %d", r.Name, len(t), r.Arity)
+	}
+	row := make([]intern.ID, len(t))
+	for i, term := range t {
+		id, ok := r.tab.Find(term)
+		if !ok {
+			return false, nil
+		}
+		row[i] = id
+	}
+	pos := r.findRow(row)
+	if pos < 0 {
+		return false, nil
+	}
+	r.rows = append(r.rows[:pos], r.rows[pos+1:]...)
+	r.tuples = append(r.tuples[:pos], r.tuples[pos+1:]...)
+	// Fix the hash table up in place — drop the deleted position, shift the
+	// ones behind it — rather than re-hashing every remaining row.
+	for h, positions := range r.seen {
+		out := positions[:0]
+		for _, p := range positions {
+			switch {
+			case p == pos:
+			case p > pos:
+				out = append(out, p-1)
+			default:
+				out = append(out, p)
+			}
+		}
+		if len(out) == 0 {
+			delete(r.seen, h)
+		} else {
+			r.seen[h] = out
+		}
+	}
+	r.indexes.Store(nil)
+	return true, nil
+}
+
 // MustInsert is Insert that panics on error; for use with generated data.
 func (r *Relation) MustInsert(t Tuple) bool {
 	ok, err := r.Insert(t)
@@ -624,6 +675,25 @@ func (s *Store) AddFact(a ast.Atom) (bool, error) {
 		return false, err
 	}
 	return rel.Insert(Tuple(a.Args))
+}
+
+// RemoveFact deletes a ground atom from the store, reporting whether it was
+// present. It must be called on a base store (not an overlay): deleting
+// through an overlay would mutate the shared base relation. Like AddFact it
+// is a write operation, serialized by the caller against in-flight
+// evaluations.
+func (s *Store) RemoveFact(a ast.Atom) (bool, error) {
+	if !ast.IsGroundAtom(a) {
+		return false, fmt.Errorf("fact %s is not ground", a)
+	}
+	if s.base != nil {
+		return false, fmt.Errorf("RemoveFact on an overlay store")
+	}
+	rel, ok := s.relations[a.PredKey()]
+	if !ok {
+		return false, nil
+	}
+	return rel.Delete(Tuple(a.Args))
 }
 
 // MustAddFact is AddFact that panics on error.

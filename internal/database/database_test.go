@@ -277,3 +277,74 @@ func TestQuickLookupAgreesWithScan(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRelationDelete(t *testing.T) {
+	r := NewRelation("p", 2)
+	r.MustInsert(tup("a", "b"))
+	r.MustInsert(tup("c", "d"))
+	r.MustInsert(tup("e", "f"))
+	// Build an index so deletion must invalidate it.
+	if got := len(r.Lookup([]int{0}, []ast.Term{ast.S("c")})); got != 1 {
+		t.Fatalf("pre-delete lookup = %d, want 1", got)
+	}
+
+	ok, err := r.Delete(tup("c", "d"))
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if r.Contains(tup("c", "d")) {
+		t.Error("deleted tuple still reported by Contains")
+	}
+	// Insertion order of the survivors is preserved.
+	tuples := r.Tuples()
+	if !tuples[0].Equal(tup("a", "b")) || !tuples[1].Equal(tup("e", "f")) {
+		t.Errorf("tuples after delete = %v", tuples)
+	}
+	// Lookups see the shrunken relation (index rebuilt lazily).
+	if got := len(r.Lookup([]int{0}, []ast.Term{ast.S("c")})); got != 0 {
+		t.Errorf("post-delete lookup = %d, want 0", got)
+	}
+	if got := len(r.Lookup([]int{0}, []ast.Term{ast.S("e")})); got != 1 {
+		t.Errorf("post-delete lookup e = %d, want 1", got)
+	}
+	// Dedup state is consistent: the deleted tuple can be re-inserted once.
+	if !r.MustInsert(tup("c", "d")) {
+		t.Error("re-insert after delete reported duplicate")
+	}
+	if r.MustInsert(tup("c", "d")) {
+		t.Error("second re-insert reported new")
+	}
+
+	// Deleting an absent or never-interned tuple is a clean no-op.
+	if ok, err := r.Delete(tup("x", "y")); err != nil || ok {
+		t.Errorf("Delete of absent tuple = %v, %v", ok, err)
+	}
+	if _, err := r.Delete(tup("a")); err == nil {
+		t.Error("Delete with wrong arity did not error")
+	}
+}
+
+func TestStoreRemoveFact(t *testing.T) {
+	s := NewStore()
+	s.MustAddFact(ast.NewAtom("p", ast.S("a"), ast.S("b")))
+	s.MustAddFact(ast.NewAtom("p", ast.S("b"), ast.S("c")))
+	ok, err := s.RemoveFact(ast.NewAtom("p", ast.S("a"), ast.S("b")))
+	if err != nil || !ok {
+		t.Fatalf("RemoveFact = %v, %v", ok, err)
+	}
+	if got := s.FactCount("p"); got != 1 {
+		t.Errorf("FactCount = %d, want 1", got)
+	}
+	if ok, err := s.RemoveFact(ast.NewAtom("q", ast.S("a"))); err != nil || ok {
+		t.Errorf("RemoveFact on missing relation = %v, %v", ok, err)
+	}
+	if _, err := s.RemoveFact(ast.NewAtom("p", ast.V("X"), ast.S("b"))); err == nil {
+		t.Error("RemoveFact accepted a non-ground atom")
+	}
+	if _, err := s.Overlay().RemoveFact(ast.NewAtom("p", ast.S("b"), ast.S("c"))); err == nil {
+		t.Error("RemoveFact on an overlay did not error")
+	}
+}

@@ -14,6 +14,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -51,6 +52,15 @@ type Options struct {
 	// MaxDerivations bounds the total number of rule firings, successful or
 	// duplicate (0 = unlimited).
 	MaxDerivations int64
+	// StopEarly, when non-nil, is consulted between fixpoint rounds (before
+	// the first pass of every component and before every delta round of the
+	// semi-naive evaluator; before every iteration of the naive one). A true
+	// result truncates the evaluation: the store computed so far is returned
+	// with no error and Stats.StoppedEarly set. The facade uses it for
+	// first-N answer streaming — evaluation stops as soon as the answer
+	// relation holds enough tuples, instead of running the fixpoint to
+	// completion.
+	StopEarly func(store *database.Store) bool
 	// forceTermSpace disables the compiled ID-space join pipelines and
 	// evaluates every rule with the substitution-based reference matcher.
 	// It exists for the differential tests that prove the compiled executor
@@ -119,6 +129,10 @@ type Stats struct {
 	// index versus falling back to scanning a relation.
 	OpProbes int64
 	OpScans  int64
+	// StoppedEarly reports that Options.StopEarly truncated the evaluation
+	// before it reached a fixpoint: the store holds a sound but possibly
+	// incomplete set of derived facts.
+	StoppedEarly bool
 }
 
 // addFiring records a successful rule instantiation.
@@ -245,6 +259,11 @@ type evalContext struct {
 	arities map[string]int
 	opts    Options
 	stats   *Stats
+	// ctx is the caller's cancellation context. It is checked at every
+	// fixpoint round and, through derivationTick, once every
+	// ctxCheckInterval rule firings, so deadlines interrupt even a divergent
+	// fixpoint whose individual rounds are long.
+	ctx context.Context
 	// bound memoizes, per pipeline variant, the shared pipeline paired with
 	// this evaluation's scratch buffers.
 	bound map[variantKey]*runPipe
@@ -261,9 +280,12 @@ type evalContext struct {
 	baseProbes, baseHits int64
 }
 
-func newContext(pp *Prepared, edb *database.Store, seeds []ast.Atom, opts Options, name string) (*evalContext, error) {
+func newContext(c context.Context, pp *Prepared, edb *database.Store, seeds []ast.Atom, opts Options, name string) (*evalContext, error) {
 	if edb.Table() != pp.tab {
 		return nil, fmt.Errorf("eval: store interns into a different symbol table than the prepared program")
+	}
+	if c == nil {
+		c = context.Background()
 	}
 	ctx := &evalContext{
 		prep:    pp,
@@ -272,6 +294,7 @@ func newContext(pp *Prepared, edb *database.Store, seeds []ast.Atom, opts Option
 		derived: pp.derived,
 		arities: pp.arities,
 		opts:    opts,
+		ctx:     c,
 		bound:   make(map[variantKey]*runPipe),
 		stats: &Stats{
 			Strategy:         name,
@@ -380,6 +403,9 @@ func (ctx *evalContext) ruleEval(ruleIdx int, r ast.Rule, deltaPos int, delta *d
 			if ctx.opts.MaxDerivations > 0 && ctx.stats.Derivations > ctx.opts.MaxDerivations {
 				return fmt.Errorf("%w: more than %d derivations", ErrLimitExceeded, ctx.opts.MaxDerivations)
 			}
+			if err := ctx.derivationTick(); err != nil {
+				return err
+			}
 			return emit(head)
 		}
 		lit := r.Body[i]
@@ -479,6 +505,43 @@ func (ctx *evalContext) checkFactLimit() error {
 	return nil
 }
 
+// ctxCheckInterval is how many rule firings may pass between two context
+// checks inside a fixpoint round. It trades check overhead (one ctx.Err call
+// per interval) against cancellation latency; at typical derivation rates an
+// interval of 1024 keeps the latency well under a millisecond.
+const ctxCheckInterval = 1024
+
+// ctxErr returns the caller's cancellation, wrapped with the evaluator's
+// prefix. ctx.Err() (not context.Cause) is wrapped so the documented
+// errors.Is contract against context.Canceled / context.DeadlineExceeded
+// holds even under context.WithCancelCause; it is deliberately NOT an
+// ErrLimitExceeded: hitting a configured limit and being cancelled are
+// different outcomes.
+func (ctx *evalContext) ctxErr() error {
+	if err := ctx.ctx.Err(); err != nil {
+		return fmt.Errorf("eval: evaluation interrupted: %w", err)
+	}
+	return nil
+}
+
+// derivationTick is the per-N-derivation cancellation check, called on every
+// rule firing next to the MaxDerivations limit check.
+func (ctx *evalContext) derivationTick() error {
+	if ctx.stats.Derivations%ctxCheckInterval == 0 {
+		return ctx.ctxErr()
+	}
+	return nil
+}
+
+// stopRequested consults Options.StopEarly between fixpoint rounds.
+func (ctx *evalContext) stopRequested() bool {
+	if ctx.opts.StopEarly != nil && ctx.opts.StopEarly(ctx.store) {
+		ctx.stats.StoppedEarly = true
+		return true
+	}
+	return false
+}
+
 // finish fills derived-fact counts and index statistics (main store plus
 // the reusable delta stores) and returns the final result.
 func (ctx *evalContext) finish(err error) (*database.Store, *Stats, error) {
@@ -506,13 +569,29 @@ func (e *naiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*databas
 }
 
 // EvaluateNaive runs the naive strategy over an overlay of edb extended
-// with the seed facts. See Evaluate for the overlay contract.
+// with the seed facts. See Evaluate for the overlay contract. It is
+// EvaluateNaiveCtx with a background context.
 func (pp *Prepared) EvaluateNaive(edb *database.Store, seeds []ast.Atom, opts Options) (*database.Store, *Stats, error) {
-	ctx, err := newContext(pp, edb, seeds, opts, "naive")
+	return pp.EvaluateNaiveCtx(context.Background(), edb, seeds, opts)
+}
+
+// EvaluateNaiveCtx is EvaluateNaive under a cancellation context: the
+// context is checked before every whole-program round and once every
+// ctxCheckInterval rule firings within a round, and its error (wrapped, and
+// distinct from ErrLimitExceeded) is returned together with the partial
+// store when the evaluation is cancelled or times out.
+func (pp *Prepared) EvaluateNaiveCtx(c context.Context, edb *database.Store, seeds []ast.Atom, opts Options) (*database.Store, *Stats, error) {
+	ctx, err := newContext(c, pp, edb, seeds, opts, "naive")
 	if err != nil {
 		return nil, nil, err
 	}
 	for {
+		if err := ctx.ctxErr(); err != nil {
+			return ctx.finish(err)
+		}
+		if ctx.stopRequested() {
+			return ctx.finish(nil)
+		}
 		ctx.stats.Iterations++
 		if opts.MaxIterations > 0 && ctx.stats.Iterations > opts.MaxIterations {
 			return ctx.finish(fmt.Errorf("%w: more than %d iterations", ErrLimitExceeded, opts.MaxIterations))
@@ -552,9 +631,19 @@ func (e *semiNaiveEvaluator) Evaluate(p *ast.Program, edb *database.Store) (*dat
 // evaluation. It is safe to call concurrently from multiple goroutines over
 // the same base store, provided nothing mutates the base while evaluations
 // are in flight; the compiled pipelines are shared, each evaluation gets
-// its own register scratch.
+// its own register scratch. It is EvaluateCtx with a background context.
 func (pp *Prepared) Evaluate(edb *database.Store, seeds []ast.Atom, opts Options) (*database.Store, *Stats, error) {
-	ctx, err := newContext(pp, edb, seeds, opts, "semi-naive")
+	return pp.EvaluateCtx(context.Background(), edb, seeds, opts)
+}
+
+// EvaluateCtx is Evaluate under a cancellation context. The context is
+// checked before every component pass and every delta round, and once every
+// ctxCheckInterval rule firings within a round, so request deadlines
+// interrupt divergent fixpoints promptly; the wrapped context error is
+// distinct from ErrLimitExceeded and returned together with the partially
+// computed store. Options.StopEarly is likewise consulted between rounds.
+func (pp *Prepared) EvaluateCtx(c context.Context, edb *database.Store, seeds []ast.Atom, opts Options) (*database.Store, *Stats, error) {
+	ctx, err := newContext(c, pp, edb, seeds, opts, "semi-naive")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -581,6 +670,12 @@ func (pp *Prepared) Evaluate(edb *database.Store, seeds []ast.Atom, opts Options
 		// of strata.
 		// The first pass can never trip MaxIterations (any positive bound
 		// admits at least one round), so only the delta loop checks it.
+		if err := ctx.ctxErr(); err != nil {
+			return ctx.finish(err)
+		}
+		if ctx.stopRequested() {
+			return ctx.finish(nil)
+		}
 		rounds := 1
 		ctx.stats.Iterations++
 		delta.Reset()
@@ -599,6 +694,12 @@ func (pp *Prepared) Evaluate(edb *database.Store, seeds []ast.Atom, opts Options
 		// occurrences of same-component predicates can carry new facts; all
 		// other predicates are complete.
 		for delta.TotalFacts() > 0 {
+			if err := ctx.ctxErr(); err != nil {
+				return ctx.finish(err)
+			}
+			if ctx.stopRequested() {
+				return ctx.finish(nil)
+			}
 			rounds++
 			ctx.stats.Iterations++
 			if opts.MaxIterations > 0 && rounds > opts.MaxIterations {
@@ -624,14 +725,14 @@ func (pp *Prepared) Evaluate(edb *database.Store, seeds []ast.Atom, opts Options
 	return ctx.finish(nil)
 }
 
-// Answers selects from the store the tuples of the given relation that match
-// the query atom (whose ground arguments act as selections) and returns them
-// projected onto the query's free positions, in insertion order. It is used
-// to read query answers out of an evaluated store.
-func Answers(store *database.Store, predKey string, query ast.Atom) []database.Tuple {
+// answerSelection locates the tuples of the given relation that match the
+// query atom (whose ground arguments act as selections), returning the
+// relation, the matching positions in insertion order, and the query's free
+// positions. A nil relation means no answers.
+func answerSelection(store *database.Store, predKey string, query ast.Atom) (*database.Relation, []int, []int) {
 	rel := store.Existing(predKey)
 	if rel == nil {
-		return nil
+		return nil, nil, nil
 	}
 	var cols []int
 	var vals []ast.Term
@@ -644,8 +745,20 @@ func Answers(store *database.Store, predKey string, query ast.Atom) []database.T
 			freePos = append(freePos, i)
 		}
 	}
+	return rel, rel.Lookup(cols, vals), freePos
+}
+
+// Answers selects from the store the tuples of the given relation that match
+// the query atom (whose ground arguments act as selections) and returns them
+// projected onto the query's free positions, in insertion order. It is used
+// to read query answers out of an evaluated store.
+func Answers(store *database.Store, predKey string, query ast.Atom) []database.Tuple {
+	rel, positions, freePos := answerSelection(store, predKey, query)
+	if rel == nil {
+		return nil
+	}
 	var out []database.Tuple
-	for _, pos := range rel.Lookup(cols, vals) {
+	for _, pos := range positions {
 		t := rel.Tuple(pos)
 		proj := make(database.Tuple, len(freePos))
 		for j, p := range freePos {
@@ -654,6 +767,43 @@ func Answers(store *database.Store, predKey string, query ast.Atom) []database.T
 		out = append(out, proj)
 	}
 	return out
+}
+
+// AnswerRows is Answers at the ID level: the matching tuples are returned as
+// rows of interned IDs projected onto the query's free positions, without
+// materializing any terms. The facade builds its typed values directly from
+// these IDs (the store's symbol table is append-only, so the rows remain
+// valid after the evaluation's overlay is discarded). limit > 0 caps the
+// number of rows returned.
+func AnswerRows(store *database.Store, predKey string, query ast.Atom, limit int) [][]intern.ID {
+	rel, positions, freePos := answerSelection(store, predKey, query)
+	if rel == nil {
+		return nil
+	}
+	if limit > 0 && len(positions) > limit {
+		positions = positions[:limit]
+	}
+	out := make([][]intern.ID, 0, len(positions))
+	for _, pos := range positions {
+		row := rel.Row(pos)
+		proj := make([]intern.ID, len(freePos))
+		for j, p := range freePos {
+			proj[j] = row[p]
+		}
+		out = append(out, proj)
+	}
+	return out
+}
+
+// CountAnswers returns the number of stored tuples matching the query atom,
+// without materializing or projecting anything. It is the predicate the
+// facade's first-N early termination evaluates between fixpoint rounds.
+func CountAnswers(store *database.Store, predKey string, query ast.Atom) int {
+	rel, positions, _ := answerSelection(store, predKey, query)
+	if rel == nil {
+		return 0
+	}
+	return len(positions)
 }
 
 // AnswerSet returns the answers as a set of canonical tuple keys, for

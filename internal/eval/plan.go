@@ -595,6 +595,9 @@ func (pl *pipeline) fire(ctx *evalContext, sc *pipeScratch, rd *intern.Reader, e
 	if ctx.opts.MaxDerivations > 0 && ctx.stats.Derivations > ctx.opts.MaxDerivations {
 		return fmt.Errorf("%w: more than %d derivations", ErrLimitExceeded, ctx.opts.MaxDerivations)
 	}
+	if err := ctx.derivationTick(); err != nil {
+		return err
+	}
 	for i := range pl.head {
 		sc.headRow[i] = pl.head[i].build(rd, sc.regs)
 	}

@@ -65,6 +65,21 @@ const (
 	kindComp
 )
 
+// TermKind classifies an interned ID without materializing its term. It is
+// the ID-level counterpart of a type switch on ast.Term (ground terms only,
+// so there is no variable kind).
+type TermKind uint8
+
+// The interned term kinds.
+const (
+	// KindSym is a symbolic constant.
+	KindSym TermKind = iota
+	// KindInt is an integer constant.
+	KindInt
+	// KindComp is a compound term.
+	KindComp
+)
+
 // NewTable returns an empty symbol table.
 func NewTable() *Table {
 	return &Table{
@@ -177,6 +192,26 @@ func (tb *Table) appendTerm(t ast.Term, kind byte, intVal int64, parts compParts
 // interned into the table. A false result guarantees no stored ID denotes a
 // term that arithmetic normalization could change.
 func (tb *Table) HasArith() bool { return tb.hasArith.Load() }
+
+// Kind classifies the term interned under id. It panics if the ID was never
+// handed out by this table.
+func (tb *Table) Kind(id ID) TermKind {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return kindOf(tb.kinds[id])
+}
+
+// kindOf maps the internal kind byte to the exported classification.
+func kindOf(k byte) TermKind {
+	switch k {
+	case kindInt:
+		return KindInt
+	case kindComp:
+		return KindComp
+	default:
+		return KindSym
+	}
+}
 
 // IntValue returns the integer value of an interned ID and whether the ID
 // denotes an integer constant at all. It is the ID-level counterpart of a
@@ -370,6 +405,14 @@ func (r *Reader) Term(id ID) ast.Term {
 		r.refresh()
 	}
 	return r.terms[id]
+}
+
+// Kind is Table.Kind without the lock.
+func (r *Reader) Kind(id ID) TermKind {
+	if int(id) >= len(r.kinds) {
+		r.refresh()
+	}
+	return kindOf(r.kinds[id])
 }
 
 // HasArith delegates to the table.

@@ -106,3 +106,29 @@ func TestConcurrentIntern(t *testing.T) {
 		}
 	}
 }
+
+func TestKindClassification(t *testing.T) {
+	tb := NewTable()
+	sym := tb.Intern(ast.S("a"))
+	num := tb.Intern(ast.I(7))
+	comp := tb.Intern(ast.C("f", ast.S("a"), ast.I(7)))
+	if tb.Kind(sym) != KindSym {
+		t.Errorf("Kind(sym) = %v", tb.Kind(sym))
+	}
+	if tb.Kind(num) != KindInt {
+		t.Errorf("Kind(int) = %v", tb.Kind(num))
+	}
+	if tb.Kind(comp) != KindComp {
+		t.Errorf("Kind(comp) = %v", tb.Kind(comp))
+	}
+	rd := tb.Reader()
+	if rd.Kind(sym) != KindSym || rd.Kind(num) != KindInt || rd.Kind(comp) != KindComp {
+		t.Error("Reader.Kind disagrees with Table.Kind")
+	}
+	// A reader taken before an intern refreshes transparently.
+	stale := tb.Reader()
+	late := tb.Intern(ast.I(99))
+	if stale.Kind(late) != KindInt {
+		t.Errorf("stale reader Kind = %v, want KindInt", stale.Kind(late))
+	}
+}

@@ -1,9 +1,11 @@
 package topdown
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/adorn"
 	"repro/internal/ast"
@@ -256,5 +258,78 @@ func TestQueryWithNoMatchingFacts(t *testing.T) {
 	}
 	if res.Stats.Queries != 1 {
 		t.Errorf("expected only the original goal, got %d", res.Stats.Queries)
+	}
+}
+
+func TestFirstNShortCircuits(t *testing.T) {
+	ad := adorned(t, ancestorSrc, "anc(n0, Y)")
+	edb := parentChain(40)
+	full, err := Evaluate(ad, edb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(ad, edb, Options{FirstN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 {
+		t.Fatalf("answers = %d, want 2", len(res.Answers))
+	}
+	if !res.Stats.StoppedEarly {
+		t.Error("StoppedEarly = false")
+	}
+	if full.Stats.StoppedEarly {
+		t.Error("full run reports StoppedEarly")
+	}
+	if res.Stats.Derivations >= full.Stats.Derivations {
+		t.Errorf("FirstN run performed %d derivations, full run %d; expected a short-circuit",
+			res.Stats.Derivations, full.Stats.Derivations)
+	}
+	// The truncated answers are sound: each occurs in the full answer set.
+	want := full.AnswerSet()
+	for _, a := range res.Answers {
+		if !want[a.Key()] {
+			t.Errorf("truncated answer %s not in the full answer set", a)
+		}
+	}
+	// FirstN larger than the answer set behaves like a full run.
+	all, err := Evaluate(ad, edb, Options{FirstN: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Answers) != len(full.Answers) || all.Stats.StoppedEarly {
+		t.Errorf("FirstN=1000: %d answers (stopped early %v), want %d",
+			len(all.Answers), all.Stats.StoppedEarly, len(full.Answers))
+	}
+}
+
+func TestEvaluateCtxCancellation(t *testing.T) {
+	ad := adorned(t, ancestorSrc, "anc(n0, Y)")
+	edb := parentChain(30)
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateCtx(pre, ad, edb, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled wrap", err)
+	}
+
+	ctx, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	// A large cyclic graph keeps the evaluator busy across passes so the
+	// deadline fires mid-evaluation rather than before it.
+	big := database.NewStore()
+	for i := 0; i < 400; i++ {
+		for d := 1; d <= 3; d++ {
+			big.MustAddFact(ast.NewAtom("par",
+				ast.S(fmt.Sprintf("c%d", i)), ast.S(fmt.Sprintf("c%d", (i+d)%400))))
+		}
+	}
+	start := time.Now()
+	_, err := EvaluateCtx(ctx, adorned(t, ancestorSrc, "anc(c0, Y)"), big, Options{})
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want nil or context.DeadlineExceeded wrap", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("evaluation returned after %v, want prompt interruption", elapsed)
 	}
 }
