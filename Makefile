@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet fmt-check bench bench-json quickstart ci
+.PHONY: build test vet fmt-check bench bench-json bench-compare quickstart ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,18 @@ bench-json:
 	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' . > .bench.out
 	$(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json < .bench.out
 	@rm -f .bench.out
+
+# Committed baseline the comparison target diffs against; regenerate with
+# `make bench-json && cp BENCH_<date>.json BENCH_baseline.json` when a PR
+# deliberately moves the performance floor.
+BASELINE ?= BENCH_baseline.json
+
+# Run the suite and print per-benchmark deltas against the committed
+# baseline (CI uploads the same comparison as an artifact). Reuses an
+# existing BENCH_<date>.json from a previous bench-json run if present.
+bench-compare:
+	@test -f BENCH_$(BENCH_DATE).json || $(MAKE) bench-json
+	$(GO) run ./cmd/benchjson -compare $(BASELINE) BENCH_$(BENCH_DATE).json
 
 quickstart:
 	$(GO) run ./examples/quickstart

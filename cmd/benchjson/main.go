@@ -1,11 +1,12 @@
 // Command benchjson converts `go test -bench` output into a JSON benchmark
 // record so the performance trajectory of the repository can be archived per
 // commit (the `make bench-json` target writes BENCH_<date>.json and CI
-// uploads it as an artifact).
+// uploads it as an artifact), and compares two such records.
 //
 // Usage:
 //
 //	go test -bench . -benchmem -run '^$' . | benchjson -out BENCH_2026-07-30.json
+//	benchjson -compare BENCH_baseline.json BENCH_2026-07-30.json
 //
 // Lines that are not benchmark results (headers, PASS/ok trailers) are
 // ignored. Each result line contributes one record with the benchmark name,
@@ -14,6 +15,13 @@
 // counters of the experiment benchmarks) are archived under "metrics" keyed
 // by their unit, so the JSON record preserves every per-benchmark number
 // the suite emits.
+//
+// With -compare, two archives are read and a per-benchmark delta table is
+// printed — ns/op old vs new with the relative change, plus the allocs/op
+// change when both records carry it — followed by the benchmarks present in
+// only one archive. `make bench-compare` runs the suite and compares it
+// against the committed baseline (BENCH_baseline.json), and CI uploads that
+// comparison as an artifact next to the fresh record.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -49,8 +58,15 @@ func main() {
 func run(args []string, in io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("out", "", "output file (default: stdout)")
+	compare := fs.Bool("compare", false, "compare two benchmark JSON archives: benchjson -compare old.json new.json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare takes exactly two archive paths, got %d", fs.NArg())
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *outPath, stdout)
 	}
 
 	results, err := parse(in)
@@ -74,6 +90,104 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "wrote %d benchmark records to %s\n", len(results), *outPath)
 	return nil
+}
+
+// loadArchive reads one benchmark JSON archive.
+func loadArchive(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+// runCompare prints the per-benchmark deltas between two archives (to
+// outPath when given, else to stdout).
+func runCompare(oldPath, newPath, outPath string, stdout io.Writer) error {
+	oldResults, err := loadArchive(oldPath)
+	if err != nil {
+		return err
+	}
+	newResults, err := loadArchive(newPath)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	writeComparison(&b, oldPath, newPath, oldResults, newResults)
+	if outPath == "" {
+		_, err := io.WriteString(stdout, b.String())
+		return err
+	}
+	if err := os.WriteFile(outPath, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote comparison to %s\n", outPath)
+	return nil
+}
+
+// writeComparison renders the delta table: benchmarks in both archives with
+// their ns/op change (and allocs/op change when both sides have it), then
+// the ones present in only one side. Archives hold one record per name, so
+// matching is by exact benchmark name.
+func writeComparison(w io.Writer, oldPath, newPath string, oldResults, newResults []Result) {
+	oldByName := make(map[string]Result, len(oldResults))
+	for _, r := range oldResults {
+		oldByName[r.Name] = r
+	}
+	fmt.Fprintf(w, "benchmark comparison: %s (old) vs %s (new)\n\n", oldPath, newPath)
+	fmt.Fprintf(w, "%-60s %14s %14s %8s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs Δ")
+	matched := make(map[string]bool)
+	for _, nr := range newResults {
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			continue
+		}
+		matched[nr.Name] = true
+		// A zero-allocation side cannot be expressed as a percentage, but a
+		// 0 → N change is exactly the regression worth surfacing: fall back
+		// to the absolute delta instead of hiding it.
+		allocs := "-"
+		switch {
+		case or.AllocsPerOp > 0:
+			allocs = fmt.Sprintf("%+.1f%%", 100*(nr.AllocsPerOp-or.AllocsPerOp)/or.AllocsPerOp)
+		case nr.AllocsPerOp != or.AllocsPerOp:
+			allocs = fmt.Sprintf("%+.0f", nr.AllocsPerOp-or.AllocsPerOp)
+		}
+		delta := "-"
+		if or.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nr.NsPerOp-or.NsPerOp)/or.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %8s %9s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, allocs)
+	}
+	var onlyOld, onlyNew []string
+	for _, or := range oldResults {
+		if !matched[or.Name] {
+			onlyOld = append(onlyOld, or.Name)
+		}
+	}
+	for _, nr := range newResults {
+		if _, ok := oldByName[nr.Name]; !ok {
+			onlyNew = append(onlyNew, nr.Name)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	if len(onlyOld) > 0 {
+		fmt.Fprintf(w, "\nonly in %s:\n", oldPath)
+		for _, n := range onlyOld {
+			fmt.Fprintf(w, "  %s\n", n)
+		}
+	}
+	if len(onlyNew) > 0 {
+		fmt.Fprintf(w, "\nonly in %s:\n", newPath)
+		for _, n := range onlyNew {
+			fmt.Fprintf(w, "  %s\n", n)
+		}
+	}
 }
 
 // parse extracts the benchmark result lines from a `go test -bench` stream.

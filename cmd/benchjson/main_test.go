@@ -77,3 +77,56 @@ func TestRunErrorsOnEmptyInput(t *testing.T) {
 		t.Fatal("expected an error for input without benchmark lines")
 	}
 }
+
+func TestCompareArchives(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	oldJSON := `[
+	  {"name": "BenchmarkA", "iterations": 10, "ns_per_op": 1000, "allocs_per_op": 100},
+	  {"name": "BenchmarkGone", "iterations": 10, "ns_per_op": 5}
+	]`
+	newJSON := `[
+	  {"name": "BenchmarkA", "iterations": 10, "ns_per_op": 500, "allocs_per_op": 50},
+	  {"name": "BenchmarkNew", "iterations": 10, "ns_per_op": 7}
+	]`
+	if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout strings.Builder
+	if err := run([]string{"-compare", oldPath, newPath}, strings.NewReader(""), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	got := stdout.String()
+	for _, want := range []string{"BenchmarkA", "-50.0%", "BenchmarkGone", "BenchmarkNew", "only in"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("comparison missing %q:\n%s", want, got)
+		}
+	}
+	// -out writes the comparison to a file instead.
+	cmpPath := filepath.Join(dir, "cmp.txt")
+	stdout.Reset()
+	if err := run([]string{"-compare", "-out", cmpPath, oldPath, newPath}, strings.NewReader(""), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cmpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "BenchmarkA") {
+		t.Errorf("comparison file missing table:\n%s", data)
+	}
+}
+
+func TestCompareArgErrors(t *testing.T) {
+	var stdout strings.Builder
+	if err := run([]string{"-compare", "one.json"}, strings.NewReader(""), &stdout); err == nil {
+		t.Fatal("expected an error for -compare with one path")
+	}
+	if err := run([]string{"-compare", "/nonexistent/a.json", "/nonexistent/b.json"}, strings.NewReader(""), &stdout); err == nil {
+		t.Fatal("expected an error for missing archives")
+	}
+}

@@ -10,9 +10,11 @@
 //	          [-repeat N] [-timeout D] [-first-n N] [-stream]
 //
 // The program file contains rules (and optionally facts); the facts file
-// contains ground facts only. The query is a single atom whose constant
-// arguments are the bound positions. Answers are printed one per line as
-// tuples of the query's free variables.
+// contains ground facts only and is loaded in a single transaction — a
+// malformed fact anywhere in the file loads nothing, and -stats reports the
+// load time. The query is a single atom whose constant arguments are the
+// bound positions. Answers are printed one per line as tuples of the
+// query's free variables.
 //
 // With -repeat N (N > 1) the query is prepared once and run N times
 // through the prepared-query serving layer, and the amortized per-run time
@@ -100,14 +102,28 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The EDB file is loaded in a single transaction: one parse, one
+	// validation pass and one atomic bulk commit, so a malformed fact
+	// anywhere in the file loads nothing, and the load pays one write-lock
+	// acquisition instead of one per fact. The wall-clock load time and fact
+	// count are reported under -stats.
+	var loadTime time.Duration
+	var loadedFacts int
 	if *factsPath != "" {
 		factsSrc, err := os.ReadFile(*factsPath)
 		if err != nil {
 			return err
 		}
-		if err := eng.AssertText(string(factsSrc)); err != nil {
+		start := time.Now()
+		txn := eng.Database().Begin()
+		if err := txn.AssertText(string(factsSrc)); err != nil {
 			return err
 		}
+		loadedFacts, _ = txn.Pending()
+		if err := txn.Commit(); err != nil {
+			return err
+		}
+		loadTime = time.Since(start)
 	}
 
 	strat, err := datalog.ParseStrategy(*strategy)
@@ -201,6 +217,10 @@ func run(args []string, out io.Writer) error {
 		s := res.Stats
 		fmt.Fprintln(out)
 		fmt.Fprintln(out, "% statistics")
+		if *factsPath != "" {
+			fmt.Fprintf(out, "%%   edb load:        %d fact(s) in %.2f ms (one transaction)\n",
+				loadedFacts, float64(loadTime.Microseconds())/1000)
+		}
 		fmt.Fprintf(out, "%%   strategy:        %s (sip %s)\n", s.Strategy, s.Sip)
 		fmt.Fprintf(out, "%%   rewritten rules: %d\n", s.RewrittenRules)
 		fmt.Fprintf(out, "%%   derived facts:   %d\n", s.DerivedFacts)

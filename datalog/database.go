@@ -1,0 +1,132 @@
+// Database: the versioned mutable fact store of the engine.
+//
+// A Database holds only extensional facts — no rules, no query state — and
+// is the mutable half of the Program/Database split: programs are compiled
+// once and immutable, databases move forward through atomic, monotonically
+// versioned commits (Begin/Txn.Commit, or the single-fact convenience
+// wrappers, each of which is a one-operation transaction). Snapshot pins
+// the current version as an immutable view in O(#relations); queries
+// against one snapshot are mutually consistent no matter what commits land
+// concurrently. A Database is safe for concurrent use: queries run under
+// its read lock, commits under its write lock, and snapshot reads run
+// without the lock entirely.
+
+package datalog
+
+import (
+	"fmt"
+
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/database"
+)
+
+// Database is a versioned store of ground facts, created empty by
+// NewDatabase. Writes go through transactions (Begin) or the auto-commit
+// convenience methods; every successful non-empty commit advances Version by
+// exactly one. Pair a Database with a compiled Program via NewEngineWith to
+// answer queries, or pin it with Snapshot for a stable view.
+type Database struct {
+	// mu guards store: evaluations against the live database hold the read
+	// lock for their whole duration, commits the write lock. Snapshots are
+	// taken under the read lock and read afterwards without any lock.
+	mu    sync.RWMutex
+	store *database.Store
+}
+
+// NewDatabase returns an empty fact database at version 0, with a fresh
+// symbol table of its own.
+func NewDatabase() *Database {
+	return &Database{store: database.NewStore()}
+}
+
+// Version returns the commit version: the number of non-empty transactions
+// committed so far. It increases by exactly one per commit, so two equal
+// versions identify identical database states.
+func (db *Database) Version() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.Version()
+}
+
+// FactCount returns the number of facts currently stored for a predicate.
+func (db *Database) FactCount(pred string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.FactCount(pred)
+}
+
+// TotalFacts returns the total number of stored facts across all
+// predicates.
+func (db *Database) TotalFacts() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.TotalFacts()
+}
+
+// Snapshot pins the database's current state as an immutable view: the
+// returned Snapshot observes exactly the facts committed up to its Version,
+// forever, while the database moves on underneath it. Taking a snapshot is
+// O(#relations) — facts are shared, not copied; the first commit touching a
+// relation after a snapshot copies that relation once (copy-on-write), so
+// snapshots are cheap enough to take per request. The returned snapshot has
+// no program bound; bind one with Snapshot.With, or take Engine.Snapshot to
+// get data and program pinned together.
+func (db *Database) Snapshot() *Snapshot {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return &Snapshot{store: db.store.Pin()}
+}
+
+// commitOne applies a one-operation transaction: the atomic auto-commit
+// path behind the convenience write methods.
+func (db *Database) commitOne(fill func(*Txn) error) error {
+	txn := db.Begin()
+	if err := fill(txn); err != nil {
+		txn.Rollback()
+		return err
+	}
+	return txn.Commit()
+}
+
+// Assert adds a single ground fact in its own transaction (strings become
+// symbolic constants, int64/int become integers). For more than a handful
+// of facts, buffer them in one Begin/Commit transaction instead: one commit
+// is both atomic and far cheaper than per-fact commits.
+func (db *Database) Assert(pred string, args ...any) error {
+	return db.commitOne(func(t *Txn) error { return t.Assert(pred, args...) })
+}
+
+// Retract deletes a single ground fact in its own transaction (the mirror
+// of Assert). Retracting a fact that is not stored is a no-op.
+func (db *Database) Retract(pred string, args ...any) error {
+	return db.commitOne(func(t *Txn) error { return t.Retract(pred, args...) })
+}
+
+// AssertText parses ground facts (e.g. "par(john, mary). par(mary, sue).")
+// and commits them in one transaction: a parse or arity error anywhere in
+// the text leaves the database completely unchanged.
+func (db *Database) AssertText(factsSrc string) error {
+	return db.commitOne(func(t *Txn) error { return t.AssertText(factsSrc) })
+}
+
+// RetractText parses ground facts and deletes them in one transaction (the
+// mirror of AssertText); facts that are not stored are skipped.
+func (db *Database) RetractText(factsSrc string) error {
+	return db.commitOne(func(t *Txn) error { return t.RetractText(factsSrc) })
+}
+
+// loadFacts commits pre-parsed atoms in one transaction (NewEngine's
+// program-embedded facts).
+func (db *Database) loadFacts(atoms []ast.Atom) error {
+	if len(atoms) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, _, err := db.store.Apply(nil, atoms); err != nil {
+		return fmt.Errorf("datalog: %w", err)
+	}
+	return nil
+}

@@ -6,32 +6,61 @@
 // the sip collection into the program, and plain bottom-up evaluation of the
 // rewritten program.
 //
-// A typical use — queries run under a context.Context, and answers come
-// back as typed values:
+// # The four pieces: Program, Database, Txn, Snapshot
 //
-//	eng, err := datalog.NewEngine(`
+// The paper's central observation is program/data separation: adornment,
+// sip selection and rewriting depend only on the rules and the query form,
+// never on the extensional database. The API mirrors that split into four
+// first-class pieces:
+//
+//   - Compile parses, arity-checks and stratifies rules once into an
+//     immutable Program, shareable across engines and goroutines.
+//   - NewDatabase creates a Database of ground facts that moves forward
+//     through atomic, monotonically versioned commits.
+//   - Database.Begin opens a Txn buffering Assert/Retract/AssertText;
+//     Commit validates the whole batch before the first write (a bad fact
+//     anywhere commits nothing), takes the write lock once, bulk-interns
+//     the constants and bulk-inserts the rows — the intended path for
+//     loading large fact sets.
+//   - Database.Snapshot pins the current version as an immutable view in
+//     O(#relations): every query against one Snapshot — from any number of
+//     goroutines, with any number of commits landing concurrently — sees
+//     exactly the same facts, which is the unit of request-level
+//     consistency a live store cannot offer.
+//
+// A typical serving setup:
+//
+//	prog, err := datalog.Compile(`
 //	    anc(X, Y) :- par(X, Y).
 //	    anc(X, Y) :- par(X, Z), anc(Z, Y).
 //	`)
 //	if err != nil { ... }
-//	if err := eng.AssertText(`par(john, mary). par(mary, sue).`); err != nil { ... }
+//	db := datalog.NewDatabase()
+//	txn := db.Begin()
+//	txn.AssertText(`par(john, mary). par(mary, sue).`)
+//	if err := txn.Commit(); err != nil { ... }
 //
-//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-//	defer cancel()
-//	res, err := eng.QueryCtx(ctx, "anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets})
-//	if err != nil { ... }
-//	for _, a := range res.Answers {
-//	    if name, ok := a.Vals[0].Symbol(); ok {
-//	        fmt.Println(name) // mary, sue
-//	    }
-//	}
+//	eng := datalog.NewEngineWith(prog, db)
+//	snap := eng.Snapshot() // pins facts AND rules for one request
+//	res, err := snap.QueryCtx(ctx, "anc(john, Y)", datalog.Options{Strategy: datalog.MagicSets})
 //
-// The context is threaded through the fixpoint loops of every strategy and
-// checked both between iterations and every few thousand rule firings, so a
-// deadline or cancellation interrupts even a divergent evaluation promptly;
-// the returned error wraps ctx.Err() (test with errors.Is against
-// context.Canceled or context.DeadlineExceeded) and is distinct from
-// ErrLimitExceeded, which still reports an exhausted Options limit.
+// Engine remains as the thin compatibility wrapper over (Program,
+// Database): NewEngine compiles and pairs in one call, and the monolithic
+// methods (AssertText, Query, Prepare, …) keep working — AssertText is now
+// atomic, being routed through a transaction. Engine.SetProgram hot-swaps
+// the rules without touching the data; prepared queries of the replaced
+// program fail closed with ErrStaleProgram.
+//
+// # Queries, contexts, typed answers
+//
+// Queries run under a context.Context, threaded through the fixpoint loops
+// of every strategy and checked both between iterations and every few
+// thousand rule firings, so a deadline or cancellation interrupts even a
+// divergent evaluation promptly; the returned error wraps ctx.Err() (test
+// with errors.Is against context.Canceled or context.DeadlineExceeded) and
+// is distinct from ErrLimitExceeded, which still reports an exhausted
+// Options limit. Answers come back as typed values (Answer.Vals, Row)
+// surfaced straight from the interned constants.
 //
 // The available strategies cover the whole design space the paper compares:
 // naive and semi-naive bottom-up evaluation of the unrewritten program, the
@@ -65,15 +94,26 @@
 //	}
 //
 // Parse, adornment, rewriting and the compilation of the bottom-up join
-// pipelines all happen in Prepare; each run only parameterizes the seeds
-// and evaluates against a copy-on-write overlay of the engine's store, so
-// no call copies the extensional database. Engine.Query uses the same
-// machinery through a transparent per-engine cache keyed by query form
-// (Stats.PlanCacheHit reports a hit), so even one-shot callers pay the
-// per-form work once. Engines, queries and prepared runs are safe for
-// concurrent use; Assert and Retract are serialized against in-flight
-// evaluations and become visible to the next run without invalidating
-// prepared forms.
+// pipelines all happen in Prepare and are cached on the Program (keyed by
+// query form and symbol table), so every engine and snapshot serving the
+// same program shares one preparation per form; each run only parameterizes
+// the seeds and evaluates against a copy-on-write overlay, never copying
+// the extensional database. Engine.Query and Snapshot.Query use the same
+// machinery transparently (Stats.PlanCacheHit reports a warm form).
+// Engines, databases, snapshots, queries and prepared runs are all safe for
+// concurrent use; commits are serialized against in-flight live-engine
+// evaluations, while snapshot queries proceed without any lock.
+//
+// # Migrating from the monolithic Engine API
+//
+// Code written against the pre-split Engine keeps compiling and behaving
+// the same, with one deliberate change: Engine.AssertText is atomic (a
+// mid-text error no longer commits the prefix before it). New code should
+// prefer the explicit pieces — Compile + NewDatabase + NewEngineWith,
+// transactions over per-fact Assert loops (one commit of N facts is both
+// atomic and several times cheaper than N one-fact commits), and a
+// Snapshot per request instead of consecutive live queries whenever two
+// reads must agree with each other.
 package datalog
 
 import (
@@ -81,10 +121,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
+	"sync/atomic"
 
-	"repro/internal/adorn"
-	"repro/internal/ast"
 	"repro/internal/database"
 	"repro/internal/eval"
 	"repro/internal/parser"
@@ -331,121 +369,124 @@ type SafetyReport struct {
 	CountingDivergesOnAllData bool
 }
 
-// Engine holds a program and a database of facts, and answers queries. An
-// Engine is safe for concurrent use: queries (one-shot or prepared) run
-// under a read lock against the live store, and Assert/AssertText take the
-// write lock, so asserts are serialized against in-flight evaluations. The
-// prepared query forms survive asserts unchanged — only the data they read
-// moves forward.
+// ErrStaleProgram is returned (wrapped) when a prepared query is run on an
+// engine whose program has since been replaced with SetProgram: the
+// preparation (adornment, rewriting, compiled pipelines) belongs to the old
+// rules, so the engine fails the run closed instead of answering from a
+// program that is no longer installed. Re-prepare against the engine to
+// pick up the new program, or run against a Snapshot, which pins program
+// and data together.
+var ErrStaleProgram = errors.New("datalog: prepared query belongs to a program the engine no longer runs")
+
+// Engine pairs a compiled Program with a Database and answers queries — a
+// thin compatibility wrapper over the two first-class pieces, kept so that
+// the original monolithic API (NewEngine, AssertText, Query, …) continues
+// to work unchanged. An Engine is safe for concurrent use: queries (one-shot
+// or prepared) run under the database's read lock against the live store,
+// commits take the write lock, and SetProgram hot-swaps the rules without
+// touching the data. For new code the underlying pieces are available
+// directly: Compile for the immutable program, Database/Begin/Txn for
+// atomic batch writes, Snapshot for pinned-version reads.
 type Engine struct {
-	program *ast.Program
-	store   *database.Store
-	// mu guards the store: evaluations hold the read lock for their whole
-	// duration (they share the store's relations copy-on-write), asserts
-	// the write lock.
-	mu sync.RWMutex
-	// plans caches prepared query forms (see Prepare), keyed by predicate,
-	// binding pattern, strategy and sip policy.
-	plans *planCache
+	db *Database
+	// prog is the engine's current program, swapped atomically by
+	// SetProgram; in-flight evaluations keep the program they started with.
+	prog atomic.Pointer[Program]
 }
 
-// NewEngine parses a program (rules only; facts are added separately with
-// Assert/AssertText) and returns an engine with an empty database.
+// NewEngine compiles a program (rules, optionally ground facts — queries
+// are rejected) and pairs it with a fresh empty database, loading any facts
+// embedded in the program text in one transaction. It is shorthand for
+// Compile + NewDatabase + NewEngineWith.
 func NewEngine(programSrc string) (*Engine, error) {
-	unit, err := parser.Parse(programSrc)
+	prog, err := Compile(programSrc)
 	if err != nil {
-		return nil, fmt.Errorf("datalog: %w", err)
+		return nil, err
 	}
-	if len(unit.Queries) > 0 {
-		return nil, fmt.Errorf("datalog: the program text contains a query; pass queries to Engine.Query instead")
-	}
-	eng := &Engine{program: unit.Program(), store: database.NewStore(), plans: newPlanCache()}
-	if err := eng.store.AddFacts(unit.Facts); err != nil {
-		return nil, fmt.Errorf("datalog: %w", err)
-	}
-	if _, err := eng.program.Arities(); err != nil {
-		return nil, fmt.Errorf("datalog: %w", err)
+	eng := NewEngineWith(prog, NewDatabase())
+	if err := eng.db.loadFacts(prog.facts); err != nil {
+		return nil, err
 	}
 	return eng, nil
 }
 
-// AssertText parses and adds ground facts (e.g. "par(john, mary). par(mary, sue).").
-func (e *Engine) AssertText(factsSrc string) error {
-	unit, err := parser.Parse(factsSrc)
-	if err != nil {
-		return fmt.Errorf("datalog: %w", err)
-	}
-	if len(unit.Rules) > 0 || len(unit.Queries) > 0 {
-		return fmt.Errorf("datalog: AssertText accepts facts only")
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.store.AddFacts(unit.Facts)
+// NewEngineWith pairs an already compiled program with an existing
+// database: several engines may share one Program (the compiled artifact is
+// immutable), and an engine may be pointed at a database that other code
+// writes to. Facts embedded in the program's source text are not loaded —
+// the database is taken exactly as it is; NewEngine is the constructor that
+// loads them.
+func NewEngineWith(prog *Program, db *Database) *Engine {
+	eng := &Engine{db: db}
+	eng.prog.Store(prog)
+	return eng
 }
 
-// Assert adds a single ground fact given as predicate name and constant
-// arguments (strings become symbolic constants, int64/int become integers).
-func (e *Engine) Assert(pred string, args ...any) error {
-	terms, err := constantTerms(args)
-	if err != nil {
-		return err
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	_, err = e.store.AddFact(ast.NewAtom(pred, terms...))
-	return err
-}
+// Program returns the engine's current compiled program.
+func (e *Engine) Program() *Program { return e.prog.Load() }
 
-// Retract deletes a single ground fact given as predicate name and constant
-// arguments (the mirror of Assert: strings become symbolic constants,
-// int64/int become integers). Retracting a fact that is not stored is a
-// no-op. Like Assert it takes the engine's write lock, so it is serialized
-// against in-flight evaluations, and prepared query forms survive unchanged
-// — the next run simply sees the shrunken database.
-func (e *Engine) Retract(pred string, args ...any) error {
-	terms, err := constantTerms(args)
-	if err != nil {
-		return err
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	_, err = e.store.RemoveFact(ast.NewAtom(pred, terms...))
-	return err
-}
+// Database returns the engine's fact database, for direct transactional
+// writes (Begin) and version inspection.
+func (e *Engine) Database() *Database { return e.db }
 
-// RetractText parses ground facts (e.g. "par(john, mary). par(mary, sue).")
-// and deletes each of them from the store; facts that are not stored are
-// skipped. It is the mirror of AssertText.
-func (e *Engine) RetractText(factsSrc string) error {
-	unit, err := parser.Parse(factsSrc)
-	if err != nil {
-		return fmt.Errorf("datalog: %w", err)
+// SetProgram hot-swaps the engine's rules: queries issued after the swap
+// run the new program against the unchanged database. Queries already in
+// flight complete under the program they started with, and prepared queries
+// created against the previous program fail closed with ErrStaleProgram on
+// their next run — their compiled forms describe rules the engine no longer
+// serves. Snapshots taken before the swap are unaffected (they pin their
+// program). Facts embedded in the new program's source text are not loaded;
+// the data is solely the database's.
+func (e *Engine) SetProgram(prog *Program) error {
+	if prog == nil {
+		return fmt.Errorf("datalog: SetProgram requires a non-nil program")
 	}
-	if len(unit.Rules) > 0 || len(unit.Queries) > 0 {
-		return fmt.Errorf("datalog: RetractText accepts facts only")
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, a := range unit.Facts {
-		if _, err := e.store.RemoveFact(a); err != nil {
-			return fmt.Errorf("datalog: %w", err)
-		}
-	}
+	e.prog.Store(prog)
 	return nil
 }
 
-// FactCount returns the number of facts currently stored for a predicate.
-func (e *Engine) FactCount(pred string) int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.store.FactCount(pred)
+// Snapshot pins the engine's current facts and current program together as
+// an immutable view: every query against the snapshot sees exactly this
+// commit version and exactly these rules, regardless of concurrent commits
+// or SetProgram swaps. See Database.Snapshot for the cost model.
+func (e *Engine) Snapshot() *Snapshot {
+	return e.db.Snapshot().With(e.prog.Load())
 }
 
-// ProgramText returns the engine's program in source syntax.
-func (e *Engine) ProgramText() string { return e.program.String() }
+// AssertText parses ground facts (e.g. "par(john, mary). par(mary, sue).")
+// and commits them in one transaction: a parse or arity error anywhere in
+// the text leaves the database completely unchanged (all-or-nothing, unlike
+// the historical fact-by-fact behavior, which could commit a prefix of the
+// batch before failing).
+func (e *Engine) AssertText(factsSrc string) error { return e.db.AssertText(factsSrc) }
 
-// Rules returns the number of rules in the program.
-func (e *Engine) Rules() int { return len(e.program.Rules) }
+// Assert adds a single ground fact given as predicate name and constant
+// arguments (strings become symbolic constants, int64/int become integers),
+// as a one-fact transaction. Bulk loads should buffer a single transaction
+// via Database.Begin instead — one commit per fact pays the write-lock and
+// version bookkeeping N times.
+func (e *Engine) Assert(pred string, args ...any) error { return e.db.Assert(pred, args...) }
+
+// Retract deletes a single ground fact given as predicate name and constant
+// arguments (the mirror of Assert). Retracting a fact that is not stored is
+// a no-op. Commits are serialized against in-flight evaluations, and
+// prepared query forms survive unchanged — the next run simply sees the
+// shrunken database.
+func (e *Engine) Retract(pred string, args ...any) error { return e.db.Retract(pred, args...) }
+
+// RetractText parses ground facts (e.g. "par(john, mary). par(mary, sue).")
+// and deletes them in one transaction; facts that are not stored are
+// skipped. It is the mirror of AssertText.
+func (e *Engine) RetractText(factsSrc string) error { return e.db.RetractText(factsSrc) }
+
+// FactCount returns the number of facts currently stored for a predicate.
+func (e *Engine) FactCount(pred string) int { return e.db.FactCount(pred) }
+
+// ProgramText returns the engine's current program in source syntax.
+func (e *Engine) ProgramText() string { return e.prog.Load().Text() }
+
+// Rules returns the number of rules in the current program.
+func (e *Engine) Rules() int { return e.prog.Load().Rules() }
 
 // sipStrategy maps a SipPolicy to its implementation.
 func sipStrategy(p SipPolicy) (sip.Strategy, error) {
@@ -499,10 +540,14 @@ func (e *Engine) QueryCtx(ctx context.Context, querySrc string, opts Options) (*
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
 	normalizeOptions(&opts)
-	pq, hit, err := e.preparedFor(q, opts)
+	prog := e.prog.Load()
+	form, hit, err := prog.preparedFor(q, opts, e.db.store.Table())
 	if err != nil {
 		return nil, err
 	}
+	// One-shot queries carry no program pin: they resolved the engine's
+	// current program just above, so there is nothing to go stale.
+	pq := handleFor(engineView{eng: e}, form, q, opts)
 	return pq.runMaterialized(ctx, q.BoundConstants(), opts, hit)
 }
 
@@ -523,7 +568,7 @@ func (e *Engine) Rewrite(querySrc string, opts Options) (*Result, error) {
 		}
 		return nil, err
 	}
-	ad, err := e.adorn(q, opts)
+	ad, err := e.prog.Load().adorn(q, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -557,23 +602,11 @@ func (e *Engine) Analyze(querySrc string, opts Options) (*SafetyReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
-	ad, err := e.adorn(q, opts)
+	ad, err := e.prog.Load().adorn(q, opts)
 	if err != nil {
 		return nil, err
 	}
 	return publicSafety(safety.Analyze(ad)), nil
-}
-
-func (e *Engine) adorn(q ast.Query, opts Options) (*adorn.Program, error) {
-	strat, err := sipStrategy(opts.Sip)
-	if err != nil {
-		return nil, err
-	}
-	ad, err := adorn.Adorn(e.program, q, strat)
-	if err != nil {
-		return nil, fmt.Errorf("datalog: %w", err)
-	}
-	return ad, nil
 }
 
 func publicSafety(r *safety.Report) *SafetyReport {
@@ -586,12 +619,41 @@ func publicSafety(r *safety.Report) *SafetyReport {
 	}
 }
 
-func (e *Engine) evalOptions(opts Options) eval.Options {
+// evalOptions maps the run-time limits of the public options onto the
+// bottom-up evaluator's options.
+func evalOptions(opts Options) eval.Options {
 	return eval.Options{
 		MaxIterations:  opts.MaxIterations,
 		MaxFacts:       opts.MaxFacts,
 		MaxDerivations: opts.MaxDerivations,
 	}
+}
+
+// runView is where a query run reads its facts from: the live database
+// under its read lock (engineView), or a pinned snapshot without any lock
+// (snapView). acquire returns the store to evaluate over and a release
+// function paired with it.
+type runView interface {
+	acquire() (store *database.Store, release func(), err error)
+}
+
+// engineView reads the engine's live database under the read lock. When
+// prog is non-nil the view belongs to a prepared query pinned to that
+// program, and acquire fails closed with ErrStaleProgram once the engine's
+// current program differs (SetProgram was called).
+type engineView struct {
+	eng  *Engine
+	prog *Program
+}
+
+func (v engineView) acquire() (*database.Store, func(), error) {
+	db := v.eng.db
+	db.mu.RLock()
+	if v.prog != nil && v.eng.prog.Load() != v.prog {
+		db.mu.RUnlock()
+		return nil, nil, fmt.Errorf("%w (program version %d)", ErrStaleProgram, v.prog.Version())
+	}
+	return db.store, db.mu.RUnlock, nil
 }
 
 // fillEvalStats copies the bottom-up evaluator's statistics into the public

@@ -25,7 +25,6 @@ import (
 	"repro/internal/eval"
 	"repro/internal/parser"
 	"repro/internal/rewrite"
-	"repro/internal/safety"
 	"repro/internal/topdown"
 )
 
@@ -50,13 +49,21 @@ type preparedForm struct {
 // PreparedQuery is a query form compiled once for repeated evaluation: the
 // adorned program, the rewriting, and the bottom-up join pipelines are
 // built at Prepare time and shared by every Run — including concurrent
-// ones — while each Run supplies its own bound constants and sees the
-// engine's current facts. The handle itself additionally carries the
-// constants of the prepared query text (the defaults of Run()) and the
-// caller's runtime limits, so two Prepare calls sharing a form still run
-// with their own constants and limits.
+// ones — while each Run supplies its own bound constants and reads through
+// the view it was prepared on: the engine's current facts (Engine.Prepare),
+// or a pinned snapshot (Snapshot.Prepare). The handle itself additionally
+// carries the constants of the prepared query text (the defaults of Run())
+// and the caller's runtime limits, so two Prepare calls sharing a form
+// still run with their own constants and limits.
+//
+// An engine-bound handle is pinned to the program it was prepared against:
+// after Engine.SetProgram its runs fail closed with ErrStaleProgram.
+// Snapshot-bound handles never go stale (the snapshot pins its program).
 type PreparedQuery struct {
-	eng  *Engine
+	// view is where runs read their facts (live engine or snapshot); an
+	// engine view also carries the program pin the staleness check compares
+	// against.
+	view runView
 	opts Options
 	// atom is the parsed query atom; its ground arguments are the default
 	// bound constants of Run().
@@ -64,26 +71,32 @@ type PreparedQuery struct {
 	// boundPos lists the positions of the atom's ground arguments, in
 	// order; Run's arguments replace them positionally.
 	boundPos []int
-	// form is the shared per-form preparation (cached on the engine).
+	// form is the shared per-form preparation (cached on the program).
 	form *preparedForm
 }
 
 // Prepare compiles a query form once — parse, adorn, rewrite, simplify and
 // the bottom-up plan analysis all happen here — so that Run only evaluates.
 // The form is keyed by predicate, binding pattern, strategy and sip policy
-// and cached on the engine, so preparing the same form twice returns the
-// cached preparation. The query's constants become the default arguments of
-// Run; runs with different constants reuse the same compiled form, because
-// the rewritten program depends only on the form (the constants occur only
-// in the seed facts and the answer selection).
+// and cached on the engine's current program, so preparing the same form
+// twice returns the cached preparation. The query's constants become the
+// default arguments of Run; runs with different constants reuse the same
+// compiled form, because the rewritten program depends only on the form
+// (the constants occur only in the seed facts and the answer selection).
+// The handle reads the engine's live facts and is pinned to the program it
+// was prepared against — see PreparedQuery.
 func (e *Engine) Prepare(querySrc string, opts Options) (*PreparedQuery, error) {
 	q, err := parser.ParseQuery(querySrc)
 	if err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
 	normalizeOptions(&opts)
-	pq, _, err := e.preparedFor(q, opts)
-	return pq, err
+	prog := e.prog.Load()
+	form, _, err := prog.preparedFor(q, opts, e.db.store.Table())
+	if err != nil {
+		return nil, err
+	}
+	return handleFor(engineView{eng: e, prog: prog}, form, q, opts), nil
 }
 
 // normalizeOptions resolves the zero values of the form-shaping options to
@@ -189,20 +202,32 @@ func (pq *PreparedQuery) atomWith(bound []ast.Term) ast.Atom {
 	return ast.Atom{Pred: pq.atom.Pred, Adorn: pq.atom.Adorn, Args: args}
 }
 
+// termOf converts one Assert/Run-style constant argument to a term — the
+// single definition of the public argument-conversion contract, shared by
+// the one-shot converter (constantTerms) and the transaction buffer
+// (Txn.bufTerms).
+func termOf(a any) (ast.Term, error) {
+	switch v := a.(type) {
+	case string:
+		return ast.S(v), nil
+	case int:
+		return ast.I(int64(v)), nil
+	case int64:
+		return ast.I(v), nil
+	default:
+		return nil, fmt.Errorf("datalog: unsupported argument type %T", a)
+	}
+}
+
 // constantTerms converts Assert/Run-style constant arguments to terms.
 func constantTerms(args []any) ([]ast.Term, error) {
 	terms := make([]ast.Term, len(args))
 	for i, a := range args {
-		switch v := a.(type) {
-		case string:
-			terms[i] = ast.S(v)
-		case int:
-			terms[i] = ast.I(int64(v))
-		case int64:
-			terms[i] = ast.I(v)
-		default:
-			return nil, fmt.Errorf("datalog: unsupported argument type %T", a)
+		t, err := termOf(a)
+		if err != nil {
+			return nil, err
 		}
+		terms[i] = t
 	}
 	return terms, nil
 }
@@ -321,89 +346,18 @@ func (c *planCache) getOrBuild(key string, build func() (*preparedForm, error)) 
 	return slot.form, waiting, slot.err
 }
 
-// preparedFor returns the cached preparation for the query's form, building
-// and caching it on first sight. hit reports whether the form was already
-// prepared (or being prepared) by an earlier call.
-func (e *Engine) preparedFor(q ast.Query, opts Options) (pq *PreparedQuery, hit bool, err error) {
-	form, hit, err := e.plans.getOrBuild(formKey(q, opts), func() (*preparedForm, error) {
-		return e.prepare(q, opts)
-	})
-	if err != nil {
-		return nil, false, err
-	}
-	return e.handleFor(form, q, opts), hit, nil
-}
-
 // handleFor wraps the shared per-form artifacts in a PreparedQuery carrying
-// this caller's query constants and options: two Prepare calls that share a
-// form still run with their own constants and runtime limits.
-func (e *Engine) handleFor(form *preparedForm, q ast.Query, opts Options) *PreparedQuery {
-	pq := &PreparedQuery{eng: e, opts: opts, atom: q.Atom, form: form}
+// this caller's query constants, options and read view: two Prepare calls
+// that share a form still run with their own constants and runtime limits,
+// and against their own view (live engine or pinned snapshot).
+func handleFor(view runView, form *preparedForm, q ast.Query, opts Options) *PreparedQuery {
+	pq := &PreparedQuery{view: view, opts: opts, atom: q.Atom, form: form}
 	for i, arg := range q.Atom.Args {
 		if ast.IsGround(arg) {
 			pq.boundPos = append(pq.boundPos, i)
 		}
 	}
 	return pq
-}
-
-// prepare builds the per-form artifacts for one query and option set.
-func (e *Engine) prepare(q ast.Query, opts Options) (*preparedForm, error) {
-	form := &preparedForm{}
-	switch opts.Strategy {
-	case Naive, SemiNaive:
-		pp, err := eval.Prepare(e.program, e.store.Table())
-		if err != nil {
-			return nil, fmt.Errorf("datalog: %w", err)
-		}
-		form.prepared = pp
-		for key := range e.program.DerivedPredicates() {
-			form.derivedKeys = append(form.derivedKeys, key)
-		}
-	case TopDown:
-		ad, err := e.adorn(q, opts)
-		if err != nil {
-			return nil, err
-		}
-		form.adorned = ad
-		form.safety = publicSafety(safety.Analyze(ad))
-	case MagicSets, SupplementaryMagicSets, Counting, SupplementaryCounting:
-		rw, err := rewriter(opts)
-		if err != nil {
-			return nil, err
-		}
-		ad, err := e.adorn(q, opts)
-		if err != nil {
-			return nil, err
-		}
-		rewriting, err := rw.Rewrite(ad)
-		if err != nil {
-			return nil, fmt.Errorf("datalog: %w", err)
-		}
-		if opts.Simplify {
-			rewrite.Simplify(rewriting)
-		}
-		pp, err := eval.Prepare(rewriting.Program, e.store.Table())
-		if err != nil {
-			return nil, fmt.Errorf("datalog: %w", err)
-		}
-		form.adorned = ad
-		form.rewriting = rewriting
-		form.prepared = pp
-		form.safety = publicSafety(safety.Analyze(ad))
-		form.rewrittenSrc = rewriting.Program.String()
-		form.rewrittenRules = len(rewriting.Program.Rules)
-		for key := range rewriting.Program.DerivedPredicates() {
-			if rewriting.AuxPredicates[key] {
-				form.auxKeys = append(form.auxKeys, key)
-			} else {
-				form.derivedKeys = append(form.derivedKeys, key)
-			}
-		}
-	default:
-		return nil, fmt.Errorf("datalog: unknown strategy %q", opts.Strategy)
-	}
-	return form, nil
 }
 
 // runMaterialized evaluates the prepared form and fills Result.Answers —
@@ -476,19 +430,20 @@ func (f *preparedForm) safetyCopy() *SafetyReport {
 // runDirect evaluates the unrewritten program bottom-up and selects the
 // answers matching the instantiated query atom.
 func (pq *PreparedQuery) runDirect(ctx context.Context, bound []ast.Term, opts Options, cacheHit bool) (*Result, []Row, error) {
-	e := pq.eng
 	atom := pq.atomWith(bound)
-	evalOpts := e.evalOptions(opts)
+	evalOpts := evalOptions(opts)
 	evalOpts.StopEarly = stopAfterN(opts.FirstN, atom.PredKey(), atom)
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	edb, release, err := pq.view.acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
 	var store *database.Store
 	var stats *eval.Stats
-	var err error
 	if pq.opts.Strategy == Naive {
-		store, stats, err = pq.form.prepared.EvaluateNaiveCtx(ctx, e.store, nil, evalOpts)
+		store, stats, err = pq.form.prepared.EvaluateNaiveCtx(ctx, edb, nil, evalOpts)
 	} else {
-		store, stats, err = pq.form.prepared.EvaluateCtx(ctx, e.store, nil, evalOpts)
+		store, stats, err = pq.form.prepared.EvaluateCtx(ctx, edb, nil, evalOpts)
 	}
 	res := &Result{}
 	pq.stampStats(res, cacheHit, false)
@@ -517,7 +472,6 @@ func (pq *PreparedQuery) answerRows(store *database.Store, predKey string, patte
 // adorned program prepared for the form and the query atom re-instantiated
 // for this call's constants.
 func (pq *PreparedQuery) runTopDown(ctx context.Context, bound []ast.Term, opts Options, cacheHit bool) (*Result, []Row, error) {
-	e := pq.eng
 	// The adorned program is shared and immutable; only the query differs
 	// per call, so evaluate a shallow copy carrying the new query atom.
 	ad := *pq.form.adorned
@@ -533,9 +487,12 @@ func (pq *PreparedQuery) runTopDown(ctx context.Context, bound []ast.Term, opts 
 		MaxDerivations: opts.MaxDerivations,
 		FirstN:         opts.FirstN,
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	tres, err := topdown.EvaluateCtx(ctx, &ad, e.store, tdOpts)
+	edb, release, err := pq.view.acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	tres, err := topdown.EvaluateCtx(ctx, &ad, edb, tdOpts)
 	res := &Result{Safety: pq.form.safetyCopy()}
 	pq.stampStats(res, cacheHit, true)
 	var rows []Row
@@ -557,16 +514,18 @@ func (pq *PreparedQuery) runTopDown(ctx context.Context, bound []ast.Term, opts 
 // facts re-instantiated for this call's constants, over a copy-on-write
 // overlay of the engine's store.
 func (pq *PreparedQuery) runRewritten(ctx context.Context, bound []ast.Term, opts Options, cacheHit bool) (*Result, []Row, error) {
-	e := pq.eng
 	seeds, pattern, err := pq.form.rewriting.Parameterize(bound)
 	if err != nil {
 		return nil, nil, fmt.Errorf("datalog: %w", err)
 	}
-	evalOpts := e.evalOptions(opts)
+	evalOpts := evalOptions(opts)
 	evalOpts.StopEarly = stopAfterN(opts.FirstN, pq.form.rewriting.AnswerPred, pattern)
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	store, stats, evalErr := pq.form.prepared.EvaluateCtx(ctx, e.store, seeds, evalOpts)
+	edb, release, err := pq.view.acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	store, stats, evalErr := pq.form.prepared.EvaluateCtx(ctx, edb, seeds, evalOpts)
 
 	res := &Result{RewrittenProgram: pq.form.rewrittenSrc, Safety: pq.form.safetyCopy()}
 	pq.stampStats(res, cacheHit, true)

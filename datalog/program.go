@@ -1,0 +1,229 @@
+// Program: the immutable compiled artifact of the engine.
+//
+// The paper's rewritings are program-level transformations: adornment, sip
+// selection and the magic/counting rewritings depend only on the rules and
+// the query form, never on the extensional database. Compile makes that
+// split first-class — a Program is parsed, arity-checked and stratified
+// exactly once, is immutable afterwards, and can therefore be shared by any
+// number of engines, snapshots and goroutines. All the per-query-form work
+// (adorn → rewrite → simplify → compile, see prepared.go) is cached on the
+// Program itself, keyed by the symbol table the facts intern into, so two
+// engines serving the same program each reuse one preparation per form.
+
+package datalog
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/depgraph"
+	"repro/internal/eval"
+	"repro/internal/intern"
+	"repro/internal/parser"
+	"repro/internal/rewrite"
+	"repro/internal/safety"
+)
+
+// programIDs mints process-unique Program identities; see Program.Version.
+var programIDs atomic.Uint64
+
+// Program is a compiled, immutable rule program: parse, arity checking and
+// the dependency-graph (SCC) stratification all happen once, in Compile, and
+// the result is safe to share across engines and goroutines. A Program
+// carries a process-unique version (Version) that identifies it to the
+// prepared-query machinery: the per-form caches are program-private, and an
+// Engine whose program was hot-swapped with SetProgram fails prepared
+// queries of the previous program closed with ErrStaleProgram.
+type Program struct {
+	id   uint64
+	prog *ast.Program
+	// facts are the ground facts embedded in the compiled source text;
+	// NewEngine loads them into its fresh database (matching the historical
+	// behavior of program texts that mix rules and facts). Engines composed
+	// explicitly from a Program and an existing Database do not load them —
+	// SetProgram in particular never touches the data.
+	facts   []ast.Atom
+	arities map[string]int
+	// plan is the SCC stratification of the (unrewritten) program, computed
+	// once here and reused by every direct-strategy preparation.
+	plan *depgraph.Plan
+
+	// plans caches prepared query forms per symbol table: compiled join
+	// pipelines intern rule constants, so a preparation is only reusable by
+	// stores interning into the same table (a database, its transactions and
+	// all its snapshots share one table; two independent databases do not).
+	// tables records least-recently-used order (front = coldest): beyond
+	// maxProgramTables the coldest table's cache is evicted, so a long-lived
+	// shared Program queried against many short-lived databases does not pin
+	// every database's symbol table and compiled pipelines forever (an
+	// evicted database that is still alive rebuilds its forms on the next
+	// query).
+	mu     sync.Mutex
+	plans  map[*intern.Table]*planCache
+	tables []*intern.Table
+}
+
+// maxProgramTables bounds how many symbol tables' form caches one Program
+// retains; see Program.plans.
+const maxProgramTables = 16
+
+// Compile parses, arity-checks and stratifies a rule program once and
+// returns the immutable compiled form. The source may contain ground facts
+// (NewEngine loads them; see Program); it must not contain queries — those
+// are passed per call to Query/Prepare, which is exactly the program/query
+// split the magic transformations rely on. The returned Program is safe for
+// concurrent use and sharing; pair it with a Database via NewEngineWith, or
+// hot-swap it into a live engine with SetProgram.
+func Compile(programSrc string) (*Program, error) {
+	unit, err := parser.Parse(programSrc)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	if len(unit.Queries) > 0 {
+		return nil, fmt.Errorf("datalog: the program text contains a query; pass queries to Query instead")
+	}
+	prog := unit.Program()
+	arities, err := prog.Arities()
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	return &Program{
+		id:      programIDs.Add(1),
+		prog:    prog,
+		facts:   unit.Facts,
+		arities: arities,
+		plan:    depgraph.Analyze(prog),
+		plans:   make(map[*intern.Table]*planCache),
+	}, nil
+}
+
+// Version returns the program's process-unique identity, assigned at
+// Compile time and strictly increasing across Compile calls. It is the
+// version the prepared-form machinery keys on: a PreparedQuery remembers the
+// program version it was compiled against, and an engine refuses to run it
+// once SetProgram installed a program with a different version.
+func (p *Program) Version() uint64 { return p.id }
+
+// Text returns the program in source syntax.
+func (p *Program) Text() string { return p.prog.String() }
+
+// Rules returns the number of rules in the program.
+func (p *Program) Rules() int { return len(p.prog.Rules) }
+
+// plansFor returns the program's prepared-form cache for stores interning
+// into tab, creating it on first use.
+func (p *Program) plansFor(tab *intern.Table) *planCache {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.plans[tab]
+	if ok {
+		// Move the table to the back (most recently used), so a long-lived
+		// database in constant use is never the eviction victim just for
+		// being the oldest entry. In place: this runs under p.mu on every
+		// query of every engine sharing the program.
+		if n := len(p.tables); p.tables[n-1] != tab {
+			for i, t := range p.tables {
+				if t == tab {
+					copy(p.tables[i:], p.tables[i+1:])
+					p.tables[n-1] = tab
+					break
+				}
+			}
+		}
+		return c
+	}
+	c = newPlanCache()
+	p.plans[tab] = c
+	p.tables = append(p.tables, tab)
+	if len(p.tables) > maxProgramTables {
+		delete(p.plans, p.tables[0])
+		p.tables = p.tables[1:]
+	}
+	return c
+}
+
+// preparedFor returns the cached preparation of the query's form for stores
+// interning into tab, building and caching it on first sight. hit reports
+// whether the form was already prepared (or being prepared) by an earlier
+// call.
+func (p *Program) preparedFor(q ast.Query, opts Options, tab *intern.Table) (form *preparedForm, hit bool, err error) {
+	return p.plansFor(tab).getOrBuild(formKey(q, opts), func() (*preparedForm, error) {
+		return p.buildForm(q, opts, tab)
+	})
+}
+
+// adorn adorns the program for one query under the options' sip policy.
+func (p *Program) adorn(q ast.Query, opts Options) (*adorn.Program, error) {
+	strat, err := sipStrategy(opts.Sip)
+	if err != nil {
+		return nil, err
+	}
+	ad, err := adorn.Adorn(p.prog, q, strat)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	return ad, nil
+}
+
+// buildForm builds the per-form artifacts for one query and option set, for
+// stores interning into tab.
+func (p *Program) buildForm(q ast.Query, opts Options, tab *intern.Table) (*preparedForm, error) {
+	form := &preparedForm{}
+	switch opts.Strategy {
+	case Naive, SemiNaive:
+		pp, err := eval.PrepareWith(p.prog, tab, p.plan)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+		form.prepared = pp
+		for key := range p.prog.DerivedPredicates() {
+			form.derivedKeys = append(form.derivedKeys, key)
+		}
+	case TopDown:
+		ad, err := p.adorn(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		form.adorned = ad
+		form.safety = publicSafety(safety.Analyze(ad))
+	case MagicSets, SupplementaryMagicSets, Counting, SupplementaryCounting:
+		rw, err := rewriter(opts)
+		if err != nil {
+			return nil, err
+		}
+		ad, err := p.adorn(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		rewriting, err := rw.Rewrite(ad)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+		if opts.Simplify {
+			rewrite.Simplify(rewriting)
+		}
+		pp, err := eval.Prepare(rewriting.Program, tab)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+		form.adorned = ad
+		form.rewriting = rewriting
+		form.prepared = pp
+		form.safety = publicSafety(safety.Analyze(ad))
+		form.rewrittenSrc = rewriting.Program.String()
+		form.rewrittenRules = len(rewriting.Program.Rules)
+		for key := range rewriting.Program.DerivedPredicates() {
+			if rewriting.AuxPredicates[key] {
+				form.auxKeys = append(form.auxKeys, key)
+			} else {
+				form.derivedKeys = append(form.derivedKeys, key)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("datalog: unknown strategy %q", opts.Strategy)
+	}
+	return form, nil
+}

@@ -1,0 +1,150 @@
+// Snapshot: an immutable, pinned-version view of a Database.
+//
+// A snapshot observes exactly the facts of one commit version: commits that
+// land after the snapshot was taken are invisible to it, forever. That is
+// the consistency unit the live engine cannot offer — two queries against
+// the live store may straddle a commit, two queries against one snapshot
+// never do. Snapshots are cheap (facts are shared copy-on-write, see
+// Database.Snapshot) and lock-free to read: snapshot queries do not take
+// the database lock at all, so they proceed even while large commits hold
+// the write lock.
+
+package datalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"repro/internal/database"
+	"repro/internal/parser"
+)
+
+// ErrNoProgram is returned (wrapped) by snapshot queries when the snapshot
+// has no program bound: Database.Snapshot pins data only — bind rules with
+// Snapshot.With, or take the snapshot through Engine.Snapshot, which pins
+// the engine's current program alongside the data.
+var ErrNoProgram = errors.New("datalog: snapshot has no program bound (use Snapshot.With or Engine.Snapshot)")
+
+// Snapshot is an immutable view of a Database pinned at one commit version,
+// optionally bound to a compiled Program. All queries against one snapshot
+// — one-shot, prepared or streamed, from any number of goroutines — see
+// exactly the same facts and rules, making it the unit of request-level
+// consistency: take a snapshot per request, answer every sub-query on it,
+// and concurrent commits cannot tear the view. A Snapshot is safe for
+// concurrent use and holds no locks; dropping every reference releases it
+// (there is nothing to close).
+type Snapshot struct {
+	store *database.Store // pinned, immutable
+	prog  *Program        // bound program, nil for data-only snapshots
+}
+
+// Version returns the commit version the snapshot observes.
+func (s *Snapshot) Version() uint64 { return s.store.Version() }
+
+// FactCount returns the number of facts stored for a predicate in the
+// pinned view.
+func (s *Snapshot) FactCount(pred string) int { return s.store.FactCount(pred) }
+
+// TotalFacts returns the total number of facts in the pinned view.
+func (s *Snapshot) TotalFacts() int { return s.store.TotalFacts() }
+
+// Program returns the bound program, or nil for a data-only snapshot.
+func (s *Snapshot) Program() *Program { return s.prog }
+
+// With returns a snapshot of the same pinned data bound to the given
+// program. The receiver is unchanged; snapshots of one database may be
+// bound to any number of programs (they share the pinned facts), which is
+// how a rule change is tested against a stable dataset.
+func (s *Snapshot) With(prog *Program) *Snapshot {
+	return &Snapshot{store: s.store, prog: prog}
+}
+
+// program returns the bound program or the ErrNoProgram failure.
+func (s *Snapshot) program() (*Program, error) {
+	if s.prog == nil {
+		return nil, fmt.Errorf("%w", ErrNoProgram)
+	}
+	return s.prog, nil
+}
+
+// Query evaluates a query against the pinned view. It is QueryCtx with a
+// background context.
+func (s *Snapshot) Query(querySrc string, opts Options) (*Result, error) {
+	return s.QueryCtx(context.Background(), querySrc, opts)
+}
+
+// QueryCtx evaluates a query such as "anc(john, Y)" against the pinned view
+// under the caller's context. It behaves exactly like Engine.QueryCtx —
+// same options, same prepared-form caching on the bound program — except
+// that it reads the snapshot's facts: concurrent commits to the underlying
+// database are never observed, and repeated queries against one snapshot
+// are mutually consistent. Snapshot queries take no database lock.
+func (s *Snapshot) QueryCtx(ctx context.Context, querySrc string, opts Options) (*Result, error) {
+	prog, err := s.program()
+	if err != nil {
+		return nil, err
+	}
+	q, err := parser.ParseQuery(querySrc)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	normalizeOptions(&opts)
+	form, hit, err := prog.preparedFor(q, opts, s.store.Table())
+	if err != nil {
+		return nil, err
+	}
+	pq := handleFor(snapView{s}, form, q, opts)
+	return pq.runMaterialized(ctx, q.BoundConstants(), opts, hit)
+}
+
+// Prepare compiles a query form for repeated evaluation against the pinned
+// view (see Engine.Prepare; the preparation is shared with the engine-side
+// cache of the same program and symbol table). Prepared queries bound to a
+// snapshot never go stale: the snapshot pins its program as well as its
+// facts, so SetProgram on some engine sharing the program does not affect
+// them.
+func (s *Snapshot) Prepare(querySrc string, opts Options) (*PreparedQuery, error) {
+	prog, err := s.program()
+	if err != nil {
+		return nil, err
+	}
+	q, err := parser.ParseQuery(querySrc)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	normalizeOptions(&opts)
+	form, _, err := prog.preparedFor(q, opts, s.store.Table())
+	if err != nil {
+		return nil, err
+	}
+	return handleFor(snapView{s}, form, q, opts), nil
+}
+
+// Stream evaluates a query against the pinned view and returns a cursor
+// over its typed answer rows (see PreparedQuery.Stream, including the
+// FirstN early-termination behavior). Errors — a bad query, a missing
+// program, a cancellation — are yielded as the final (nil, err) pair.
+func (s *Snapshot) Stream(ctx context.Context, querySrc string, opts Options) iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		pq, err := s.Prepare(querySrc, opts)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for row, err := range pq.Stream(ctx) {
+			if !yield(row, err) {
+				return
+			}
+		}
+	}
+}
+
+// snapView is the runView of snapshot-bound queries: the pinned store is
+// immutable, so acquiring it needs no lock and can never report staleness.
+type snapView struct{ snap *Snapshot }
+
+func (v snapView) acquire() (*database.Store, func(), error) {
+	return v.snap.store, func() {}, nil
+}

@@ -1,0 +1,450 @@
+package datalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// chainFacts renders par(n0, n1). ... par(n{k-1}, n{k}).
+func chainFacts(from, to int) string {
+	s := ""
+	for i := from; i < to; i++ {
+		s += fmt.Sprintf("par(n%d, n%d). ", i, i+1)
+	}
+	return s
+}
+
+// TestSnapshotPinsAnswers pins the core isolation property: a snapshot
+// returns identical answers before and after a commit, while the live
+// engine sees the new facts.
+func TestSnapshotPinsAnswers(t *testing.T) {
+	eng, err := NewEngine(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText(chainFacts(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := eng.Snapshot()
+	if snap.Version() != eng.Database().Version() {
+		t.Fatalf("snapshot version %d != db version %d", snap.Version(), eng.Database().Version())
+	}
+
+	for _, opts := range []Options{{Strategy: MagicSets}, {Strategy: SemiNaive}, {Strategy: TopDown}} {
+		before, err := snap.Query("anc(n0, Y)", opts)
+		if err != nil {
+			t.Fatalf("%s: %v", opts.Strategy, err)
+		}
+		if len(before.Answers) != 10 {
+			t.Fatalf("%s: snapshot sees %d answers, want 10", opts.Strategy, len(before.Answers))
+		}
+
+		// Commit more chain behind the snapshot's back.
+		if err := eng.AssertText(chainFacts(10, 15)); err != nil {
+			t.Fatal(err)
+		}
+
+		after, err := snap.Query("anc(n0, Y)", opts)
+		if err != nil {
+			t.Fatalf("%s: %v", opts.Strategy, err)
+		}
+		if !reflect.DeepEqual(before.AnswerSet(), after.AnswerSet()) {
+			t.Fatalf("%s: snapshot answers changed across a concurrent commit:\nbefore %v\nafter  %v",
+				opts.Strategy, before.AnswerSet(), after.AnswerSet())
+		}
+
+		live, err := eng.Query("anc(n0, Y)", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(live.Answers) != len(before.Answers)+5 {
+			t.Fatalf("%s: live engine sees %d answers, want %d", opts.Strategy, len(live.Answers), len(before.Answers)+5)
+		}
+	}
+}
+
+// TestSnapshotMutualConsistency pins that two queries against one snapshot
+// observe the same state even with a commit between them — the guarantee
+// two live queries do not have.
+func TestSnapshotMutualConsistency(t *testing.T) {
+	eng, err := NewEngine(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText(chainFacts(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+
+	r1, err := snap.Query("anc(n0, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Database().Assert("par", "n5", "n6"); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := snap.Query("anc(n0, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.AnswerSet(), r2.AnswerSet()) {
+		t.Fatalf("two queries on one snapshot disagree: %v vs %v", r1.AnswerSet(), r2.AnswerSet())
+	}
+	if snap.FactCount("par") != 5 {
+		t.Fatalf("snapshot FactCount = %d, want 5", snap.FactCount("par"))
+	}
+	if eng.FactCount("par") != 6 {
+		t.Fatalf("live FactCount = %d, want 6", eng.FactCount("par"))
+	}
+}
+
+// TestSnapshotPrepareAndStream covers the remaining snapshot query surface:
+// prepared runs and streaming cursors read the pinned view.
+func TestSnapshotPrepareAndStream(t *testing.T) {
+	eng, err := NewEngine(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText(chainFacts(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	pq, err := snap.Prepare("anc(n0, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText(chainFacts(8, 12)); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := pq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 8 {
+		t.Fatalf("snapshot prepared run sees %d answers, want 8", len(res.Answers))
+	}
+	// Re-parameterized runs read the same pinned view.
+	res, err = pq.Run("n4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 4 {
+		t.Fatalf("snapshot prepared run (n4) sees %d answers, want 4", len(res.Answers))
+	}
+
+	n := 0
+	for _, err := range snap.Stream(context.Background(), "anc(n0, Y)", Options{Strategy: MagicSets}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 8 {
+		t.Fatalf("snapshot stream yielded %d rows, want 8", n)
+	}
+}
+
+// TestDataOnlySnapshotNeedsProgram pins the ErrNoProgram failure mode and
+// the With binding path.
+func TestDataOnlySnapshotNeedsProgram(t *testing.T) {
+	db := NewDatabase()
+	if err := db.AssertText("par(a, b)."); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	if _, err := snap.Query("anc(a, Y)", Options{}); !errors.Is(err, ErrNoProgram) {
+		t.Fatalf("Query on data-only snapshot = %v, want ErrNoProgram", err)
+	}
+	if _, err := snap.Prepare("anc(a, Y)", Options{}); !errors.Is(err, ErrNoProgram) {
+		t.Fatalf("Prepare on data-only snapshot = %v, want ErrNoProgram", err)
+	}
+	sawErr := false
+	for _, err := range snap.Stream(context.Background(), "anc(a, Y)", Options{}) {
+		if !errors.Is(err, ErrNoProgram) {
+			t.Fatalf("Stream on data-only snapshot yielded %v, want ErrNoProgram", err)
+		}
+		sawErr = true
+	}
+	if !sawErr {
+		t.Fatal("Stream on data-only snapshot yielded nothing")
+	}
+
+	prog, err := Compile(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := snap.With(prog).Query("anc(a, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("bound snapshot got %d answers, want 1", len(res.Answers))
+	}
+}
+
+// TestSetProgramSwapsRulesAndFailsStalePrepared pins the hot-swap contract:
+// one-shot queries follow the new program, prepared queries of the old one
+// fail closed with ErrStaleProgram (runs and streams), and snapshots taken
+// before the swap keep their program.
+func TestSetProgramSwapsRulesAndFailsStalePrepared(t *testing.T) {
+	eng, err := NewEngine(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText(chainFacts(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	stale, err := eng.Prepare("anc(n0, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preSwap := eng.Snapshot()
+
+	// The replacement program derives only direct parenthood.
+	prog2, err := Compile(`anc(X, Y) :- par(X, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog2.Version() <= eng.Program().Version() {
+		t.Fatalf("replacement program version %d not newer than %d", prog2.Version(), eng.Program().Version())
+	}
+	if err := eng.SetProgram(prog2); err != nil {
+		t.Fatal(err)
+	}
+
+	// One-shot queries run the new rules against the unchanged data.
+	res, err := eng.Query("anc(n0, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("after swap got %d answers, want 1 (non-transitive program)", len(res.Answers))
+	}
+
+	// The stale prepared query fails closed.
+	if _, err := stale.Run(); !errors.Is(err, ErrStaleProgram) {
+		t.Fatalf("stale prepared Run = %v, want ErrStaleProgram", err)
+	}
+	sawStale := false
+	for row, err := range stale.Stream(context.Background()) {
+		if row != nil {
+			t.Fatalf("stale Stream yielded a row: %v", row)
+		}
+		if !errors.Is(err, ErrStaleProgram) {
+			t.Fatalf("stale Stream error = %v, want ErrStaleProgram", err)
+		}
+		sawStale = true
+	}
+	if !sawStale {
+		t.Fatal("stale Stream yielded nothing")
+	}
+
+	// Re-preparing against the engine picks up the new program.
+	fresh, err := eng.Prepare("anc(n0, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := fresh.Run(); err != nil || len(res.Answers) != 1 {
+		t.Fatalf("fresh prepared run = %d answers, %v; want 1, nil", len(res.Answers), err)
+	}
+
+	// The pre-swap snapshot still runs the old (transitive) program.
+	res, err = preSwap.Query("anc(n0, Y)", Options{Strategy: MagicSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 4 {
+		t.Fatalf("pre-swap snapshot got %d answers, want 4", len(res.Answers))
+	}
+
+	// Swapping the original program back revives nothing: the stale handle
+	// pinned the *pointer*, and the original is still that pointer, so it
+	// works again — pin the exact semantics so it is a deliberate contract.
+	if err := eng.SetProgram(preSwap.Program()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stale.Run(); err != nil {
+		t.Fatalf("prepared query of the re-installed program = %v, want success", err)
+	}
+}
+
+// TestProgramSharedAcrossEngines pins that one compiled Program serves
+// several engines over different databases.
+func TestProgramSharedAcrossEngines(t *testing.T) {
+	prog, err := Compile(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engA := NewEngineWith(prog, NewDatabase())
+	engB := NewEngineWith(prog, NewDatabase())
+	if err := engA.AssertText(chainFacts(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := engB.AssertText("par(x, y)."); err != nil {
+		t.Fatal(err)
+	}
+	resA, err := engA.Query("anc(n0, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := engB.Query("anc(x, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.Answers) != 3 || len(resB.Answers) != 1 {
+		t.Fatalf("shared program answers = %d, %d; want 3, 1", len(resA.Answers), len(resB.Answers))
+	}
+}
+
+// TestSnapshotIsolationUnderRace is the -race stress test of the ISSUE:
+// transactions commit, snapshot queries read their pinned version, one-shot
+// queries hit the live store, and SetProgram swaps rules — all
+// concurrently. The snapshot goroutines verify they never observe a
+// concurrent commit; the prepared-query goroutine verifies stale handles
+// fail closed with ErrStaleProgram and never return wrong-program answers.
+func TestSnapshotIsolationUnderRace(t *testing.T) {
+	prog1, err := Compile(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := Compile(`anc(X, Y) :- par(X, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngineWith(prog1, NewDatabase())
+	if err := eng.AssertText(chainFacts(0, 20)); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		commits      = 40
+		snapQueries  = 30
+		liveQueries  = 30
+		preparedRuns = 30
+		swaps        = 20
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	report := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Committer: grows the chain one transaction at a time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < commits; i++ {
+			txn := eng.Database().Begin()
+			if err := txn.Assert("par", fmt.Sprintf("n%d", 20+i), fmt.Sprintf("n%d", 21+i)); err != nil {
+				report("txn assert: %v", err)
+				return
+			}
+			if err := txn.Commit(); err != nil {
+				report("txn commit: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Snapshot readers: each takes a snapshot, answers twice, and requires
+	// both answer sets identical and consistent with the pinned fact count
+	// (the chain program yields exactly FactCount("par") ancestors of n0
+	// under prog1).
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < snapQueries; i++ {
+				snap := eng.Database().Snapshot().With(prog1)
+				want := snap.FactCount("par")
+				r1, err := snap.Query("anc(n0, Y)", Options{Strategy: MagicSets})
+				if err != nil {
+					report("snap query 1: %v", err)
+					return
+				}
+				r2, err := snap.Query("anc(n0, Y)", Options{Strategy: SemiNaive})
+				if err != nil {
+					report("snap query 2: %v", err)
+					return
+				}
+				if len(r1.Answers) != want || len(r2.Answers) != want {
+					report("snapshot v%d observed a concurrent commit: %d, %d answers, want %d",
+						snap.Version(), len(r1.Answers), len(r2.Answers), want)
+					return
+				}
+			}
+		}()
+	}
+
+	// Live one-shot readers: any of the two programs is a valid answer
+	// shape; only evaluation errors are failures.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < liveQueries; i++ {
+			if _, err := eng.Query("anc(n0, Y)", Options{Strategy: MagicSets}); err != nil {
+				report("live query: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Prepared runner: prepares against the engine's current program and
+	// runs; every run must either succeed with that program's answer shape
+	// or fail closed as stale.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < preparedRuns; i++ {
+			prepProg := eng.Program()
+			pq, err := eng.Prepare("anc(n0, Y)", Options{Strategy: MagicSets})
+			if err != nil {
+				report("prepare: %v", err)
+				return
+			}
+			res, err := pq.Run()
+			switch {
+			case errors.Is(err, ErrStaleProgram):
+				// fail-closed: acceptable, the program was swapped
+			case err != nil:
+				report("prepared run: %v", err)
+				return
+			case prepProg == prog2 && len(res.Answers) > 1:
+				report("prepared run returned %d answers under the non-transitive program", len(res.Answers))
+				return
+			}
+		}
+	}()
+
+	// Program swapper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			p := prog1
+			if i%2 == 0 {
+				p = prog2
+			}
+			if err := eng.SetProgram(p); err != nil {
+				report("set program: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

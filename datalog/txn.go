@@ -1,0 +1,195 @@
+// Txn: buffered, atomic batch writes against a Database.
+//
+// A transaction buffers Assert/Retract/AssertText/RetractText calls without
+// touching the database and applies them all at once in Commit: the write
+// lock is taken exactly once, the batch is validated completely before the
+// first mutation (so a bad fact anywhere in the batch leaves the database
+// untouched), constants are bulk-interned and rows bulk-inserted with their
+// index updates published in the same step, and the database's commit
+// version advances by one. This replaces N per-fact lock round-trips with a
+// single batch pass through internal/database — loading a large extensional
+// database through one transaction is the intended bulk path (see
+// BenchmarkBatchAssert) — and it is what makes multi-fact writes atomic
+// with respect to concurrent queries and snapshots: no evaluation ever
+// observes half a transaction.
+
+package datalog
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// ErrTxnDone is returned (wrapped) by operations on a transaction that was
+// already committed or rolled back.
+var ErrTxnDone = errors.New("datalog: transaction already committed or rolled back")
+
+// Txn is a buffered write transaction created by Database.Begin. It is not
+// safe for concurrent use (buffer from one goroutine); the Commit itself is
+// properly serialized against all other database writers and readers. A Txn
+// holds no locks until Commit, so any number of transactions may be open at
+// once — they conflict only in the order their commits are applied.
+//
+// Within one transaction, retracts are applied before asserts regardless of
+// buffering order: a fact both retracted and asserted in the same
+// transaction therefore ends up present.
+type Txn struct {
+	db       *Database
+	asserts  []ast.Atom
+	retracts []ast.Atom
+	// buf is the flat term buffer the buffered atoms' argument slices point
+	// into: Assert/Retract append their constants here instead of allocating
+	// a slice per call, so buffering 10k facts costs amortized-constant
+	// allocations (earlier atoms keep pointing at older backing arrays when
+	// the buffer grows, which append leaves intact).
+	buf []ast.Term
+	// err poisons the transaction: once any buffering call failed, Commit
+	// refuses the whole batch, keeping failed-batch atomicity even for
+	// callers that ignore intermediate errors.
+	err  error
+	done bool
+}
+
+// Begin opens a new buffered write transaction. Transactions must be
+// finished with Commit or Rollback; an abandoned transaction simply holds
+// its buffer until garbage-collected (it takes no locks before Commit).
+func (db *Database) Begin() *Txn { return &Txn{db: db} }
+
+// poison records a buffering failure and returns it; Commit will refuse the
+// transaction with the first such error.
+func (t *Txn) poison(err error) error {
+	if t.err == nil {
+		t.err = err
+	}
+	return err
+}
+
+// Assert buffers a single ground fact given as predicate name and constant
+// arguments (strings become symbolic constants, int64/int become integers).
+// Nothing is visible to queries until Commit.
+func (t *Txn) Assert(pred string, args ...any) error {
+	if t.done {
+		return fmt.Errorf("%w", ErrTxnDone)
+	}
+	terms, err := t.bufTerms(args)
+	if err != nil {
+		return t.poison(err)
+	}
+	t.asserts = append(t.asserts, ast.Atom{Pred: pred, Args: terms})
+	return nil
+}
+
+// bufTerms converts constant arguments to terms appended to the
+// transaction's flat buffer, returning the full-capacity subslice holding
+// them.
+func (t *Txn) bufTerms(args []any) ([]ast.Term, error) {
+	start := len(t.buf)
+	for _, a := range args {
+		term, err := termOf(a)
+		if err != nil {
+			return nil, err
+		}
+		t.buf = append(t.buf, term)
+	}
+	return t.buf[start:len(t.buf):len(t.buf)], nil
+}
+
+// Retract buffers the deletion of a single ground fact (the mirror of
+// Assert). Retracting a fact that is not stored is a no-op at Commit.
+func (t *Txn) Retract(pred string, args ...any) error {
+	if t.done {
+		return fmt.Errorf("%w", ErrTxnDone)
+	}
+	terms, err := t.bufTerms(args)
+	if err != nil {
+		return t.poison(err)
+	}
+	t.retracts = append(t.retracts, ast.Atom{Pred: pred, Args: terms})
+	return nil
+}
+
+// AssertText parses ground facts (e.g. "par(john, mary). par(mary, sue).")
+// and buffers them. The text is parsed — and rejected — in full before
+// anything is buffered, so a syntax error in the last fact of a large file
+// buffers none of them; together with Commit's pre-validation this makes
+// text loads all-or-nothing.
+func (t *Txn) AssertText(factsSrc string) error {
+	if t.done {
+		return fmt.Errorf("%w", ErrTxnDone)
+	}
+	atoms, err := parseFacts("AssertText", factsSrc)
+	if err != nil {
+		return t.poison(err)
+	}
+	t.asserts = append(t.asserts, atoms...)
+	return nil
+}
+
+// RetractText parses ground facts and buffers their deletion (the mirror of
+// AssertText).
+func (t *Txn) RetractText(factsSrc string) error {
+	if t.done {
+		return fmt.Errorf("%w", ErrTxnDone)
+	}
+	atoms, err := parseFacts("RetractText", factsSrc)
+	if err != nil {
+		return t.poison(err)
+	}
+	t.retracts = append(t.retracts, atoms...)
+	return nil
+}
+
+// parseFacts parses a facts-only source text into ground atoms; op names
+// the calling method in the rules/queries rejection error.
+func parseFacts(op, factsSrc string) ([]ast.Atom, error) {
+	unit, err := parser.Parse(factsSrc)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	if len(unit.Rules) > 0 || len(unit.Queries) > 0 {
+		return nil, fmt.Errorf("datalog: %s accepts facts only", op)
+	}
+	return unit.Facts, nil
+}
+
+// Pending returns the numbers of buffered asserts and retracts.
+func (t *Txn) Pending() (asserts, retracts int) {
+	return len(t.asserts), len(t.retracts)
+}
+
+// Commit atomically applies the buffered batch: the whole batch is
+// validated (groundness, arity consistency within the batch and against the
+// stored relations) before the first fact is written, so an invalid batch —
+// or a transaction poisoned by an earlier buffering error — changes nothing
+// at all. On success the database's commit version advances by one and
+// every fact of the batch becomes visible to subsequent queries together;
+// snapshots taken before the commit keep observing the pre-commit state.
+// Committing an empty transaction is a no-op that does not advance the
+// version. A transaction can be committed once; later operations on it
+// return ErrTxnDone.
+func (t *Txn) Commit() error {
+	if t.done {
+		return fmt.Errorf("%w", ErrTxnDone)
+	}
+	t.done = true
+	if t.err != nil {
+		return fmt.Errorf("datalog: commit refused, transaction has a buffered error: %w", t.err)
+	}
+	if len(t.asserts) == 0 && len(t.retracts) == 0 {
+		return nil
+	}
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, _, err := db.store.Apply(t.retracts, t.asserts); err != nil {
+		return fmt.Errorf("datalog: %w", err)
+	}
+	return nil
+}
+
+// Rollback discards the buffered batch without touching the database. It is
+// a no-op on an already finished transaction.
+func (t *Txn) Rollback() { t.done = true }

@@ -1,0 +1,239 @@
+package datalog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const ancRules = `
+	anc(X, Y) :- par(X, Y).
+	anc(X, Y) :- par(X, Z), anc(Z, Y).
+`
+
+// TestTxnCommitAtomicVisibility pins that nothing buffered in a transaction
+// is visible before Commit, and everything is after.
+func TestTxnCommitAtomicVisibility(t *testing.T) {
+	eng, err := NewEngine(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := eng.Database()
+	txn := db.Begin()
+	if err := txn.Assert("par", "john", "mary"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.AssertText("par(mary, sue). par(sue, kim)."); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.FactCount("par"); got != 0 {
+		t.Fatalf("facts visible before commit: %d", got)
+	}
+	if v := db.Version(); v != 0 {
+		t.Fatalf("version moved before commit: %d", v)
+	}
+	if a, r := txn.Pending(); a != 3 || r != 0 {
+		t.Fatalf("Pending = %d asserts, %d retracts; want 3, 0", a, r)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.FactCount("par"); got != 3 {
+		t.Fatalf("FactCount after commit = %d, want 3", got)
+	}
+	if v := db.Version(); v != 1 {
+		t.Fatalf("version after one commit = %d, want 1", v)
+	}
+	res, err := eng.Query("anc(john, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 3 {
+		t.Fatalf("got %d answers, want 3", len(res.Answers))
+	}
+}
+
+// TestTxnRollbackPinsNothingCommitted is the rollback-pinning test of the
+// AssertText atomicity fix: a transaction that buffers good facts, then
+// fails on a bad batch, must leave the database exactly as it was —
+// including when the caller goes on to Commit anyway (the poisoned
+// transaction refuses).
+func TestTxnRollbackPinsNothingCommitted(t *testing.T) {
+	eng, err := NewEngine(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := eng.Database()
+	if err := db.AssertText("par(john, mary)."); err != nil {
+		t.Fatal(err)
+	}
+	v1 := db.Version()
+
+	txn := db.Begin()
+	if err := txn.AssertText("par(mary, sue)."); err != nil {
+		t.Fatal(err)
+	}
+	// A parse error poisons the transaction...
+	if err := txn.AssertText("par(sue, "); err == nil {
+		t.Fatal("want parse error")
+	}
+	// ...so Commit refuses the whole batch, including the good prefix.
+	if err := txn.Commit(); err == nil {
+		t.Fatal("want commit of a poisoned transaction to fail")
+	}
+	if got := db.FactCount("par"); got != 1 {
+		t.Fatalf("poisoned commit changed the database: %d facts, want 1", got)
+	}
+	if db.Version() != v1 {
+		t.Fatalf("poisoned commit advanced the version: %d -> %d", v1, db.Version())
+	}
+
+	// Explicit rollback likewise discards everything.
+	txn = db.Begin()
+	if err := txn.Assert("par", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	txn.Rollback()
+	if got := db.FactCount("par"); got != 1 {
+		t.Fatalf("rollback leaked facts: %d, want 1", got)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Commit after Rollback = %v, want ErrTxnDone", err)
+	}
+	if err := txn.Assert("par", "c", "d"); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Assert after Rollback = %v, want ErrTxnDone", err)
+	}
+}
+
+// TestAssertTextAllOrNothing pins the satellite fix: historically a
+// mid-batch error left the facts before it committed; now AssertText is one
+// transaction and an error anywhere leaves the database untouched.
+func TestAssertTextAllOrNothing(t *testing.T) {
+	eng, err := NewEngine(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssertText("par(john, mary)."); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arity error in the third fact: the first two must not stick.
+	err = eng.AssertText("par(a, b). par(b, c). par(oops).")
+	if err == nil {
+		t.Fatal("want arity error")
+	}
+	if !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("error %q does not mention arity", err)
+	}
+	if got := eng.FactCount("par"); got != 1 {
+		t.Fatalf("mid-batch arity error committed a prefix: %d facts, want 1", got)
+	}
+
+	// Parse error at the end of the text: same guarantee.
+	if err := eng.AssertText("par(c, d). par(d, "); err == nil {
+		t.Fatal("want parse error")
+	}
+	if got := eng.FactCount("par"); got != 1 {
+		t.Fatalf("mid-batch parse error committed a prefix: %d facts, want 1", got)
+	}
+
+	// Rules are still rejected, atomically.
+	if err := eng.AssertText("par(e, f). anc(X, Y) :- par(X, Y)."); err == nil {
+		t.Fatal("want facts-only error")
+	}
+	if got := eng.FactCount("par"); got != 1 {
+		t.Fatalf("rejected rule text committed a prefix: %d facts, want 1", got)
+	}
+}
+
+// TestTxnRetractThenAssertOrder pins the documented in-transaction
+// semantics: retracts apply before asserts, so retract+assert of one fact
+// leaves it present, and batch retracts actually remove.
+func TestTxnRetractThenAssertOrder(t *testing.T) {
+	eng, err := NewEngine(ancRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := eng.Database()
+	if err := db.AssertText("par(a, b). par(b, c)."); err != nil {
+		t.Fatal(err)
+	}
+
+	txn := db.Begin()
+	if err := txn.Retract("par", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Assert("par", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.RetractText("par(b, c)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.FactCount("par"); got != 1 {
+		t.Fatalf("FactCount = %d, want 1 (a,b kept; b,c removed)", got)
+	}
+	res, err := eng.Query("anc(a, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("got %d answers, want 1", len(res.Answers))
+	}
+}
+
+// TestDatabaseVersionMonotonic pins that every non-empty commit advances
+// the version by exactly one and empty commits do not.
+func TestDatabaseVersionMonotonic(t *testing.T) {
+	db := NewDatabase()
+	if db.Version() != 0 {
+		t.Fatalf("fresh database version = %d", db.Version())
+	}
+	if err := db.Assert("p", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Assert("p", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Version() != 2 {
+		t.Fatalf("version after two commits = %d, want 2", db.Version())
+	}
+	// Empty transaction: no version bump.
+	if err := db.Begin().Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Version() != 2 {
+		t.Fatalf("empty commit advanced version to %d", db.Version())
+	}
+	// A duplicate fact is a committed (if no-op) batch: version advances.
+	if err := db.Assert("p", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Version() != 3 {
+		t.Fatalf("version after duplicate-fact commit = %d, want 3", db.Version())
+	}
+}
+
+// TestTxnArityValidatedAgainstStore pins that a batch conflicting with an
+// existing relation's arity is refused before any mutation.
+func TestTxnArityValidatedAgainstStore(t *testing.T) {
+	db := NewDatabase()
+	if err := db.AssertText("p(a, b)."); err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin()
+	if err := txn.AssertText("q(x). p(c)."); err != nil {
+		t.Fatal(err) // buffering succeeds; the conflict is with the store
+	}
+	if err := txn.Commit(); err == nil {
+		t.Fatal("want arity conflict at commit")
+	}
+	if got := db.FactCount("q"); got != 0 {
+		t.Fatalf("refused batch committed q: %d facts", got)
+	}
+	if got, want := db.FactCount("p"), 1; got != want {
+		t.Fatalf("refused batch changed p: %d facts, want %d", got, want)
+	}
+}

@@ -18,20 +18,35 @@
 // pipeline-op counters) are the cost quantities of the paper's Section 9;
 // EXPERIMENTS.md explains how to read them.
 //
-// The facade is a serving layer: query forms (predicate + binding pattern +
-// strategy + sip) are adorned, rewritten and compiled once — explicitly via
-// Engine.Prepare / PreparedQuery.RunCtx, or transparently through the form
-// cache inside Engine.QueryCtx — and each run evaluates the shared compiled
-// pipelines against a copy-on-write overlay of the store, so repeated
-// queries never re-rewrite the program or copy the extensional database.
-// Every run takes a context.Context, threaded through the fixpoint loops of
-// all strategies and checked at iteration and per-N-derivation granularity,
-// so request deadlines interrupt even divergent evaluations; the wrapped
-// ctx error is distinct from datalog.ErrLimitExceeded. Answers come back as
-// typed datalog.Value trees surfaced straight from the interned constant
-// IDs (rendering to source syntax is lazy), and PreparedQuery.Stream yields
-// them as an iter.Seq2 cursor — with Options.FirstN the evaluation itself
-// stops as soon as N answers exist, checked between delta rounds, which is
-// what makes existence-style point queries cheap. Engines are safe for
-// concurrent queries interleaved with Assert and Retract.
+// The facade is a serving layer built on the paper's program/data split,
+// surfaced as four first-class pieces: datalog.Compile produces an
+// immutable, shareable Program (parse + arity check + stratification happen
+// once); datalog.Database is the versioned mutable fact store, written
+// through atomic buffered transactions (Begin/Txn.Commit: the whole batch
+// is validated before the first write, constants are bulk-interned and rows
+// bulk-inserted under one write-lock acquisition); Database.Snapshot pins
+// the current commit version as an immutable view in O(#relations), on
+// which any number of queries are mutually consistent and lock-free; and
+// Engine remains the thin compatibility wrapper pairing a Program with a
+// Database, with SetProgram hot-swapping rules (stale prepared queries fail
+// closed with datalog.ErrStaleProgram).
+//
+// Query forms (predicate + binding pattern + strategy + sip) are adorned,
+// rewritten and compiled once — explicitly via Engine.Prepare /
+// PreparedQuery.RunCtx, or transparently inside Engine.QueryCtx and
+// Snapshot.QueryCtx — cached on the Program, and each run evaluates the
+// shared compiled pipelines against a copy-on-write overlay of the store,
+// so repeated queries never re-rewrite the program or copy the extensional
+// database. Every run takes a context.Context, threaded through the
+// fixpoint loops of all strategies and checked at iteration and
+// per-N-derivation granularity, so request deadlines interrupt even
+// divergent evaluations; the wrapped ctx error is distinct from
+// datalog.ErrLimitExceeded. Answers come back as typed datalog.Value trees
+// surfaced straight from the interned constant IDs (rendering to source
+// syntax is lazy), and PreparedQuery.Stream yields them as an iter.Seq2
+// cursor — with Options.FirstN the evaluation itself stops as soon as N
+// answers exist, checked between delta rounds, which is what makes
+// existence-style point queries cheap. Engines, databases and snapshots are
+// safe for concurrent use: commits serialize against live-engine queries,
+// snapshot queries run without locks entirely.
 package repro

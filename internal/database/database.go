@@ -26,6 +26,7 @@ package database
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -136,9 +137,16 @@ type Relation struct {
 	// means the tuple has not been read back as terms yet.
 	tuples []Tuple
 	rows   [][]intern.ID
-	// seen maps a full-row hash to the positions of rows with that hash;
-	// candidates are verified by ID comparison, so collisions are harmless.
-	seen map[uint64][]int
+	// seen and chain form the duplicate-detection hash table as an intrusive
+	// chain: seen maps a full-row hash to the newest row position with that
+	// hash, and chain[pos] links to the next older position sharing it (-1
+	// ends the chain). Candidates are verified by ID comparison, so hash
+	// collisions merely share a chain. Compared to a map of position slices
+	// this costs one map word per distinct hash and zero allocations per row
+	// — the difference is what makes bulk loads cheap. Positions are int32:
+	// a relation holds fewer than 2^31 rows.
+	seen  map[uint64]int32
+	chain []int32
 	// indexes maps a column bitmask to the hash index on those columns. It is
 	// reached through an atomic pointer so that concurrent read-only users of
 	// a shared relation (evaluations running against overlay stores of the
@@ -154,7 +162,22 @@ type Relation struct {
 	// probes counts indexed lookups, hits the tuples they returned. Atomic
 	// because concurrent evaluations probe shared base relations.
 	probes, hits atomic.Int64
+
+	// shared marks the relation as pinned by at least one store snapshot
+	// (Store.Pin): the relation must no longer be mutated in place. Write
+	// paths on a live store consult it through the copy-on-write accessors
+	// (Store.Relation, Store.writable) and clone the relation before the
+	// first write, so every pinned view keeps observing the state it was
+	// taken at. Atomic because concurrent snapshots (readers of the owning
+	// store) may mark the same relation.
+	shared atomic.Bool
 }
+
+// markShared flags the relation as pinned by a snapshot; see Store.Pin.
+func (r *Relation) markShared() { r.shared.Store(true) }
+
+// isShared reports whether some snapshot pins the relation.
+func (r *Relation) isShared() bool { return r.shared.Load() }
 
 // NewRelation creates an empty relation with the given predicate key and
 // arity, interning into the package-level default table of internal/intern.
@@ -168,7 +191,7 @@ func NewRelationWith(tab *intern.Table, name string, arity int) *Relation {
 		Name:  name,
 		Arity: arity,
 		tab:   tab,
-		seen:  make(map[uint64][]int),
+		seen:  make(map[uint64]int32),
 	}
 }
 
@@ -204,14 +227,24 @@ func (r *Relation) materialize(pos int) Tuple {
 	return t
 }
 
-// findRow returns the position of the row equal to the given IDs, or -1.
-func (r *Relation) findRow(row []intern.ID) int {
-	for _, pos := range r.seen[hashRow(row)] {
-		if equalRows(r.rows[pos], row) {
-			return pos
+// findRowHash returns the position of the row equal to the given IDs under
+// the precomputed full-row hash, or -1, by walking the hash chain.
+func (r *Relation) findRowHash(h uint64, row []intern.ID) int {
+	pos, ok := r.seen[h]
+	if !ok {
+		return -1
+	}
+	for p := pos; p >= 0; p = r.chain[p] {
+		if equalRows(r.rows[p], row) {
+			return int(p)
 		}
 	}
 	return -1
+}
+
+// findRow returns the position of the row equal to the given IDs, or -1.
+func (r *Relation) findRow(row []intern.ID) int {
+	return r.findRowHash(hashRow(row), row)
 }
 
 // Contains reports whether the relation already holds the tuple.
@@ -247,10 +280,8 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 		row[i] = r.tab.Intern(term)
 	}
 	h := hashRow(row)
-	for _, pos := range r.seen[h] {
-		if equalRows(r.rows[pos], row) {
-			return false, nil
-		}
+	if r.findRowHash(h, row) >= 0 {
+		return false, nil
 	}
 	r.appendRow(row, t, h)
 	return true, nil
@@ -259,14 +290,19 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 // appendRow records a verified-new row (and its optional materialized tuple)
 // under the given full-row hash, maintaining existing indexes incrementally.
 func (r *Relation) appendRow(row []intern.ID, t Tuple, h uint64) {
-	pos := len(r.rows)
-	r.seen[h] = append(r.seen[h], pos)
+	pos := int32(len(r.rows))
+	if prev, ok := r.seen[h]; ok {
+		r.chain = append(r.chain, prev)
+	} else {
+		r.chain = append(r.chain, -1)
+	}
+	r.seen[h] = pos
 	r.tuples = append(r.tuples, t)
 	r.rows = append(r.rows, row)
 	if m := r.indexes.Load(); m != nil {
 		for _, idx := range *m {
 			k := hashProjection(row, idx.cols)
-			idx.buckets[k] = append(idx.buckets[k], pos)
+			idx.buckets[k] = append(idx.buckets[k], int(pos))
 		}
 	}
 }
@@ -280,10 +316,8 @@ func (r *Relation) InsertRow(row []intern.ID) (bool, error) {
 		return false, fmt.Errorf("relation %s: inserting row of arity %d into relation of arity %d", r.Name, len(row), r.Arity)
 	}
 	h := hashRow(row)
-	for _, pos := range r.seen[h] {
-		if equalRows(r.rows[pos], row) {
-			return false, nil
-		}
+	if r.findRowHash(h, row) >= 0 {
+		return false, nil
 	}
 	r.appendRow(append([]intern.ID(nil), row...), nil, h)
 	return true, nil
@@ -292,6 +326,42 @@ func (r *Relation) InsertRow(row []intern.ID) (bool, error) {
 // Row returns the ID row at the given position. The returned slice is owned
 // by the relation and must not be modified.
 func (r *Relation) Row(pos int) []intern.ID { return r.rows[pos] }
+
+// InsertBulk appends the pre-validated, pre-interned tuples of one batch
+// group: ids holds the concatenated ID rows (Arity entries per atom, in atom
+// order) and atoms the matching ground atoms, whose argument slices become
+// the materialized tuple cache — batch-committed rows are term-backed
+// exactly like per-fact term inserts, so concurrent readers of a shared
+// relation never trigger a mutating lazy materialization. Duplicate rows
+// (within the batch or against the stored ones) are skipped; existing
+// indexes are maintained incrementally by the same appendRow path as
+// single-row inserts, so the batch publishes its index updates together with
+// its rows. It returns the number of rows actually added. Callers have
+// already checked groundness and arity (Store.Apply); like all inserts it is
+// a single-writer operation.
+func (r *Relation) InsertBulk(atoms []ast.Atom, ids []intern.ID) int {
+	// Pre-size the row storage and, when the relation is freshly created for
+	// this batch, the hash table: growing a large map incrementally rehashes
+	// it log-many times, which profiles as a top cost of bulk loads.
+	n := len(atoms)
+	r.rows = slices.Grow(r.rows, n)
+	r.tuples = slices.Grow(r.tuples, n)
+	r.chain = slices.Grow(r.chain, n)
+	if len(r.seen) == 0 && n > 16 {
+		r.seen = make(map[uint64]int32, n)
+	}
+	added := 0
+	for i, a := range atoms {
+		row := ids[i*r.Arity : (i+1)*r.Arity : (i+1)*r.Arity]
+		h := hashRow(row)
+		if r.findRowHash(h, row) >= 0 {
+			continue
+		}
+		r.appendRow(row, Tuple(a.Args), h)
+		added++
+	}
+	return added
+}
 
 // Delete removes a tuple from the relation, reporting whether it was
 // present. Deletion preserves the insertion order of the remaining tuples
@@ -321,27 +391,81 @@ func (r *Relation) Delete(t Tuple) (bool, error) {
 	}
 	r.rows = append(r.rows[:pos], r.rows[pos+1:]...)
 	r.tuples = append(r.tuples[:pos], r.tuples[pos+1:]...)
-	// Fix the hash table up in place — drop the deleted position, shift the
-	// ones behind it — rather than re-hashing every remaining row.
-	for h, positions := range r.seen {
-		out := positions[:0]
-		for _, p := range positions {
-			switch {
-			case p == pos:
-			case p > pos:
-				out = append(out, p-1)
-			default:
-				out = append(out, p)
-			}
-		}
-		if len(out) == 0 {
-			delete(r.seen, h)
-		} else {
-			r.seen[h] = out
-		}
-	}
+	// Every position behind the deleted row shifts, so rebuild the hash
+	// chains from the remaining rows (O(rows), like the old in-place fixup).
+	r.rebuildSeen()
 	r.indexes.Store(nil)
 	return true, nil
+}
+
+// DeleteBulk removes every stored tuple of ts from the relation, returning
+// how many were present (a tuple retracted twice counts once, like two
+// Delete calls). Unlike k Delete calls — each an O(rows) shift plus hash
+// rebuild — the bulk path locates all positions first, compacts the row
+// storage in one pass, and rebuilds the hash chains and drops the indexes
+// once, so a batch retract is O(rows + k) regardless of k. Like Delete it
+// is a single-writer operation.
+func (r *Relation) DeleteBulk(ts []Tuple) int {
+	var remove []int
+	for _, t := range ts {
+		if len(t) != r.Arity {
+			continue
+		}
+		row := make([]intern.ID, len(t))
+		found := true
+		for i, term := range t {
+			id, ok := r.tab.Find(term)
+			if !ok {
+				found = false
+				break
+			}
+			row[i] = id
+		}
+		if !found {
+			continue
+		}
+		if pos := r.findRow(row); pos >= 0 {
+			remove = append(remove, pos)
+		}
+	}
+	if len(remove) == 0 {
+		return 0
+	}
+	// Sort and deduplicate (the same fact may appear twice in one batch),
+	// then compact rows and tuples in a single pass.
+	sort.Ints(remove)
+	remove = slices.Compact(remove)
+	out, k := 0, 0
+	for pos := range r.rows {
+		if k < len(remove) && remove[k] == pos {
+			k++
+			continue
+		}
+		r.rows[out] = r.rows[pos]
+		r.tuples[out] = r.tuples[pos]
+		out++
+	}
+	r.rows = r.rows[:out]
+	r.tuples = r.tuples[:out]
+	r.rebuildSeen()
+	r.indexes.Store(nil)
+	return len(remove)
+}
+
+// rebuildSeen reconstructs the duplicate-detection hash chains from the
+// current rows, after a deletion shifted positions.
+func (r *Relation) rebuildSeen() {
+	clear(r.seen)
+	r.chain = r.chain[:0]
+	for _, row := range r.rows {
+		h := hashRow(row)
+		if prev, ok := r.seen[h]; ok {
+			r.chain = append(r.chain, prev)
+		} else {
+			r.chain = append(r.chain, -1)
+		}
+		r.seen[h] = int32(len(r.chain) - 1)
+	}
 }
 
 // MustInsert is Insert that panics on error; for use with generated data.
@@ -528,9 +652,8 @@ func (r *Relation) Tuple(pos int) Tuple {
 func (r *Relation) Reset() {
 	r.tuples = r.tuples[:0]
 	r.rows = r.rows[:0]
-	for h := range r.seen {
-		delete(r.seen, h)
-	}
+	r.chain = r.chain[:0]
+	clear(r.seen)
 	if m := r.indexes.Load(); m != nil {
 		for _, idx := range *m {
 			for k := range idx.buckets {
@@ -540,15 +663,40 @@ func (r *Relation) Reset() {
 	}
 }
 
-// Clone returns a deep copy of the relation contents (indexes and stats are
-// not copied; indexes are rebuilt lazily on the copy). The clone shares the
-// original's symbol table, so ID rows remain comparable across the copies.
+// Clone returns a deep copy of the relation contents, including its lazily
+// built column indexes (stats counters are not copied; the clone starts
+// unshared). Copying the indexes matters for the snapshot copy-on-write
+// path: a commit that clones a pinned relation must not cost the next live
+// query an O(rows) index rebuild per bound-column pattern. Index buckets
+// are deep-copied — Lookup hands out bucket slices that must not be shared
+// between a relation and its clone, since inserts append to them. The clone
+// shares the original's symbol table, so ID rows remain comparable across
+// the copies. Cloning a pinned (shared) relation concurrently with snapshot
+// readers is safe: readers never mutate published index contents (new
+// indexes are published as fresh maps), and a shared relation's rows are
+// immutable by the COW contract.
 func (r *Relation) Clone() *Relation {
 	c := NewRelationWith(r.tab, r.Name, r.Arity)
 	c.tuples = append([]Tuple(nil), r.tuples...)
 	c.rows = append([][]intern.ID(nil), r.rows...)
-	for h, positions := range r.seen {
-		c.seen[h] = append([]int(nil), positions...)
+	c.chain = append([]int32(nil), r.chain...)
+	c.seen = make(map[uint64]int32, len(r.seen))
+	for h, pos := range r.seen {
+		c.seen[h] = pos
+	}
+	if m := r.indexes.Load(); m != nil && len(*m) > 0 {
+		next := make(map[uint64]*colIndex, len(*m))
+		for mask, idx := range *m {
+			ci := &colIndex{
+				cols:    append([]int(nil), idx.cols...),
+				buckets: make(map[uint64][]int, len(idx.buckets)),
+			}
+			for k, positions := range idx.buckets {
+				ci.buckets[k] = append([]int(nil), positions...)
+			}
+			next[mask] = ci
+		}
+		c.indexes.Store(&next)
 	}
 	return c
 }
@@ -589,6 +737,15 @@ type Store struct {
 	base      *Store
 	relations map[string]*Relation
 	order     []string
+	// version counts the committed write batches applied to the store (see
+	// Apply); Pin carries it into the snapshot view, so a pinned store
+	// identifies exactly which commit it observes.
+	version uint64
+	// pinned marks the store as an immutable snapshot view produced by Pin:
+	// every write entry point rejects it, and Relation returns pinned
+	// relations without the copy-on-write step (the snapshot's whole point is
+	// to keep reading the shared pinned state).
+	pinned bool
 }
 
 // NewStore returns an empty store with a fresh symbol table of its own.
@@ -627,13 +784,19 @@ func (s *Store) Overlay() *Store {
 // with the given arity if absent. If it exists with a different arity an
 // error is returned. On an overlay store this is the copy-on-write point: a
 // relation present only in the base is deep-copied into the overlay before
-// it is returned.
+// it is returned. On a live base store it is the snapshot copy-on-write
+// point instead: a relation pinned by a snapshot (Store.Pin) is deep-copied
+// and the copy installed in its place before it is returned, so writers
+// never mutate state a pinned view still reads.
 func (s *Store) Relation(name string, arity int) (*Relation, error) {
+	if s.pinned {
+		return nil, fmt.Errorf("relation %s: write access to a pinned snapshot store", name)
+	}
 	if r, ok := s.relations[name]; ok {
 		if r.Arity != arity {
 			return nil, fmt.Errorf("relation %s exists with arity %d, requested %d", name, r.Arity, arity)
 		}
-		return r, nil
+		return s.writable(name), nil
 	}
 	var r *Relation
 	if s.base != nil {
@@ -665,7 +828,10 @@ func (s *Store) Existing(name string) *Relation {
 }
 
 // AddFact inserts a ground atom into the store. It returns true if the fact
-// is new.
+// is new. On a base store a successful insert advances the commit version,
+// like a one-fact Apply, so two stores at equal versions always hold
+// identical facts whichever write path built them; overlay stores (whose
+// writes are evaluation-private) have no version to advance.
 func (s *Store) AddFact(a ast.Atom) (bool, error) {
 	if !ast.IsGroundAtom(a) {
 		return false, fmt.Errorf("fact %s is not ground", a)
@@ -674,7 +840,11 @@ func (s *Store) AddFact(a ast.Atom) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return rel.Insert(Tuple(a.Args))
+	added, err := rel.Insert(Tuple(a.Args))
+	if added && s.base == nil {
+		s.version++
+	}
+	return added, err
 }
 
 // RemoveFact deletes a ground atom from the store, reporting whether it was
@@ -689,11 +859,18 @@ func (s *Store) RemoveFact(a ast.Atom) (bool, error) {
 	if s.base != nil {
 		return false, fmt.Errorf("RemoveFact on an overlay store")
 	}
-	rel, ok := s.relations[a.PredKey()]
-	if !ok {
+	if s.pinned {
+		return false, fmt.Errorf("RemoveFact on a pinned snapshot store")
+	}
+	rel := s.writable(a.PredKey())
+	if rel == nil {
 		return false, nil
 	}
-	return rel.Delete(Tuple(a.Args))
+	removed, err := rel.Delete(Tuple(a.Args))
+	if removed {
+		s.version++
+	}
+	return removed, err
 }
 
 // MustAddFact is AddFact that panics on error.
@@ -781,11 +958,255 @@ func (s *Store) IndexStats() (probes, hits int64) {
 }
 
 // Reset empties every relation of the store in place, keeping relations,
-// their index definitions and their probe/hit counters. See Relation.Reset.
+// their index definitions and their probe/hit counters (see Relation.Reset)
+// — the evaluators reuse their private delta stores this way. It refuses
+// pinned snapshot views, and a relation pinned by a snapshot is replaced by
+// a fresh empty one instead of being emptied in place, so the snapshot
+// keeps its rows like under every other write path.
 func (s *Store) Reset() {
-	for _, r := range s.relations {
-		r.Reset()
+	if s.pinned {
+		panic("database: Reset on a pinned snapshot store")
 	}
+	for name, r := range s.relations {
+		if r.isShared() {
+			s.relations[name] = NewRelationWith(s.tab, r.Name, r.Arity)
+		} else {
+			r.Reset()
+		}
+	}
+}
+
+// Version returns the number of committed write batches applied to the
+// store (see Apply); on a pinned view it is the version the snapshot was
+// taken at.
+func (s *Store) Version() uint64 { return s.version }
+
+// Pinned reports whether the store is an immutable snapshot view.
+func (s *Store) Pinned() bool { return s.pinned }
+
+// Pin returns an immutable snapshot view of the store: a shallow copy
+// sharing the current relations, each marked so that the next write to it
+// through the live store clones the relation instead of mutating it in
+// place (see Store.Relation and Apply). Taking a pin is O(#relations), never
+// O(facts); a pinned view and the live store stay byte-identical until the
+// next commit, after which the pin keeps reading exactly the relations it
+// captured. The view shares the symbol table (append-only, internally
+// synchronized), so ID rows and compiled pipelines remain valid across it.
+// Pinning is a read operation: the caller may hold a read lock on the store,
+// and concurrent Pin calls are safe (the shared marks are atomic); it must
+// only be excluded against writers, like any other read.
+func (s *Store) Pin() *Store {
+	if s.base != nil {
+		// Overlays are evaluation-private; pinning one is a programming error.
+		panic("database: Pin on an overlay store")
+	}
+	c := &Store{
+		tab:       s.tab,
+		relations: make(map[string]*Relation, len(s.relations)),
+		order:     append([]string(nil), s.order...),
+		version:   s.version,
+		pinned:    true,
+	}
+	for name, r := range s.relations {
+		r.markShared()
+		c.relations[name] = r
+	}
+	return c
+}
+
+// writable returns the named relation ready for in-place mutation, cloning
+// it first if a snapshot pins it; nil if the relation does not exist.
+func (s *Store) writable(name string) *Relation {
+	r, ok := s.relations[name]
+	if !ok {
+		return nil
+	}
+	if r.isShared() {
+		r = r.Clone()
+		s.relations[name] = r
+	}
+	return r
+}
+
+// Apply atomically applies one write batch to a live base store: every
+// retract, then every assert, validated up front so that a bad atom leaves
+// the store completely untouched. It is the single batch entry point the
+// transaction layer commits through: atoms are validated (groundness, arity
+// consistency within the batch and against existing relations) before the
+// first mutation, asserts are grouped per relation and their constants
+// bulk-interned with a handful of symbol-table lock acquisitions
+// (intern.Table.InternMany), rows are bulk-inserted with indexes maintained
+// in the same step (Relation.InsertBulk), and the store's commit version is
+// advanced once at the end — replacing the per-fact lock-and-intern
+// round-trips of N AddFact calls. Relations pinned by snapshots are cloned
+// before the batch writes them, so every pinned view keeps observing its
+// commit. It returns the number of facts actually removed and added
+// (retracting an absent fact and asserting a present one are no-ops, as in
+// RemoveFact/AddFact).
+func (s *Store) Apply(retracts, asserts []ast.Atom) (removed, added int, err error) {
+	if s.base != nil {
+		return 0, 0, fmt.Errorf("Apply on an overlay store")
+	}
+	if s.pinned {
+		return 0, 0, fmt.Errorf("Apply on a pinned snapshot store")
+	}
+
+	// Validation pass: nothing below may mutate the store until every atom of
+	// the batch has been checked, so a mid-batch error cannot leave a prefix
+	// committed. Batches touch few distinct predicates, so the batch-local
+	// arity record is a small linear-scanned slice, not a map.
+	type predArity struct {
+		key   string
+		arity int
+	}
+	var batchPreds []predArity
+	arityOf := func(a ast.Atom) error {
+		if !ast.IsGroundAtom(a) {
+			return fmt.Errorf("fact %s is not ground", a)
+		}
+		key := a.PredKey()
+		want := -1
+		for _, p := range batchPreds {
+			if p.key == key {
+				want = p.arity
+				break
+			}
+		}
+		if want < 0 {
+			if r, exists := s.relations[key]; exists {
+				want = r.Arity
+			} else {
+				want = len(a.Args)
+			}
+			batchPreds = append(batchPreds, predArity{key, want})
+		}
+		if len(a.Args) != want {
+			return fmt.Errorf("fact %s has arity %d, relation %s has arity %d", a, len(a.Args), key, want)
+		}
+		return nil
+	}
+	// Retracts only validate against relations that exist: a retract of a
+	// never-stored predicate is a pure no-op (retracts apply before asserts,
+	// against the pre-batch state), so it must not pin an arity the batch's
+	// asserts are then held to — the per-fact path accepts that sequence too.
+	for _, a := range retracts {
+		if !ast.IsGroundAtom(a) {
+			return 0, 0, fmt.Errorf("fact %s is not ground", a)
+		}
+		if r, exists := s.relations[a.PredKey()]; exists && len(a.Args) != r.Arity {
+			return 0, 0, fmt.Errorf("fact %s has arity %d, relation %s has arity %d", a, len(a.Args), a.PredKey(), r.Arity)
+		}
+	}
+	singlePred := true
+	for i, a := range asserts {
+		if err := arityOf(a); err != nil {
+			return 0, 0, err
+		}
+		if i > 0 && a.PredKey() != asserts[0].PredKey() {
+			singlePred = false
+		}
+	}
+
+	// Mutation pass: all-or-nothing from here on (no error paths remain that
+	// could abandon a half-applied batch).
+	removed = s.applyRetracts(retracts)
+	if len(asserts) > 0 {
+		if singlePred {
+			// The common bulk-load shape — one relation for the whole batch
+			// (an EDB file per predicate) — inserts straight from the callers'
+			// slice, with no per-group copying.
+			added = s.applyGroup(asserts[0].PredKey(), len(asserts[0].Args), asserts)
+		} else {
+			added = s.applyGrouped(asserts)
+		}
+	}
+	s.version++
+	return removed, added, nil
+}
+
+// applyRetracts removes the validated batch retracts, one bulk compaction
+// per touched relation (Relation.DeleteBulk) rather than one O(rows) Delete
+// per fact. Retract batches touch few distinct predicates, so the grouping
+// is a linear-scanned slice.
+func (s *Store) applyRetracts(retracts []ast.Atom) (removed int) {
+	if len(retracts) == 0 {
+		return 0
+	}
+	type rgroup struct {
+		key    string
+		tuples []Tuple
+	}
+	var groups []*rgroup
+	for _, a := range retracts {
+		key := a.PredKey()
+		var g *rgroup
+		for _, c := range groups {
+			if c.key == key {
+				g = c
+				break
+			}
+		}
+		if g == nil {
+			g = &rgroup{key: key}
+			groups = append(groups, g)
+		}
+		g.tuples = append(g.tuples, Tuple(a.Args))
+	}
+	for _, g := range groups {
+		rel := s.writable(g.key)
+		if rel == nil {
+			continue
+		}
+		removed += rel.DeleteBulk(g.tuples)
+	}
+	return removed
+}
+
+// applyGroup bulk-interns and bulk-inserts one relation's validated asserts.
+func (s *Store) applyGroup(key string, arity int, atoms []ast.Atom) int {
+	rel := s.writable(key)
+	if rel == nil {
+		var err error
+		rel, err = s.Relation(key, arity)
+		if err != nil {
+			panic(fmt.Sprintf("database: validated assert group failed: %v", err))
+		}
+	}
+	// Flatten the group's constants and intern them in bulk: one ID slice
+	// backs every row of the group.
+	flat := make([]ast.Term, 0, len(atoms)*arity)
+	for _, a := range atoms {
+		flat = append(flat, a.Args...)
+	}
+	return rel.InsertBulk(atoms, s.tab.InternMany(flat))
+}
+
+// applyGrouped splits a validated multi-predicate batch into per-relation
+// groups (first-appearance order, batch order within each group) and
+// bulk-inserts each.
+func (s *Store) applyGrouped(asserts []ast.Atom) int {
+	type group struct {
+		key   string
+		arity int
+		atoms []ast.Atom
+	}
+	var groups []*group
+	byKey := make(map[string]*group)
+	for _, a := range asserts {
+		key := a.PredKey()
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{key: key, arity: len(a.Args)}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.atoms = append(g.atoms, a)
+	}
+	added := 0
+	for _, g := range groups {
+		added += s.applyGroup(g.key, g.arity, g.atoms)
+	}
+	return added
 }
 
 // Clone returns a deep copy of the store, sharing the original's symbol

@@ -1,0 +1,41 @@
+package database
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// BenchmarkRawAddFact10k isolates the storage layer's share of
+// BenchmarkBatchAssert (see bench_test.go at the repository root): loading
+// 10k pre-built ground atoms through the batch entry point Store.Apply
+// versus a per-fact AddFact loop, with no facade-level argument boxing or
+// transaction buffering in the way. The gap is the value of whole-batch
+// validation + bulk interning + bulk row insertion per se.
+func BenchmarkRawAddFact10k(b *testing.B) {
+	atoms := make([]ast.Atom, 10000)
+	for i := range atoms {
+		atoms[i] = ast.NewAtom("edge", ast.S(fmt.Sprintf("v%d", i)), ast.S(fmt.Sprintf("v%d", (i*13+7)%10000)))
+	}
+	b.Run("addfact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := NewStore()
+			for _, a := range atoms {
+				if _, err := s.AddFact(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("apply", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := NewStore()
+			if _, _, err := s.Apply(nil, atoms); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -210,15 +210,27 @@ type Prepared struct {
 // stores interning into tab. Pipelines are compiled lazily, on first
 // execution of each rule variant, and then shared across evaluations.
 func Prepare(p *ast.Program, tab *intern.Table) (*Prepared, error) {
+	return PrepareWith(p, tab, nil)
+}
+
+// PrepareWith is Prepare with a precomputed dependency-graph plan for p: a
+// caller that has already stratified the program (datalog.Compile analyzes a
+// program once, at compile time) passes the plan in so preparing the same
+// program for another symbol table does not re-run the SCC analysis. A nil
+// plan is computed here, making Prepare a special case.
+func PrepareWith(p *ast.Program, tab *intern.Table, plan *depgraph.Plan) (*Prepared, error) {
 	arities, err := p.Arities()
 	if err != nil {
 		return nil, fmt.Errorf("eval: %w", err)
+	}
+	if plan == nil {
+		plan = depgraph.Analyze(p)
 	}
 	return &Prepared{
 		program:  p,
 		arities:  arities,
 		derived:  p.DerivedPredicates(),
-		plan:     depgraph.Analyze(p),
+		plan:     plan,
 		tab:      tab,
 		variants: make(map[variantKey]*pipeline),
 	}, nil

@@ -17,6 +17,7 @@ package intern
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -135,37 +136,102 @@ func (tb *Table) Intern(t ast.Term) ID {
 }
 
 func (tb *Table) intern(t ast.Term) ID {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.internLocked(t)
+}
+
+// internBatchChunk is how many terms InternMany interns per write-lock
+// acquisition: large enough that the per-fact lock round-trips of the
+// one-at-a-time path are amortized away, small enough that concurrent
+// readers (snapshot queries resolving probe values) are never starved for
+// the duration of a large batch commit.
+const internBatchChunk = 512
+
+// InternMany interns every term of the slice and returns their IDs in
+// order. Unlike N calls to Intern it takes the write lock once per chunk of
+// internBatchChunk terms instead of (up to) twice per term, which is what
+// makes the batch commit path of a transaction cheap: the symbol-table lock
+// is acquired a handful of times for a ten-thousand-fact batch. Like Intern
+// it panics on non-ground terms.
+func (tb *Table) InternMany(terms []ast.Term) []ID {
+	ids := make([]ID, len(terms))
+	for start := 0; start < len(terms); start += internBatchChunk {
+		end := start + internBatchChunk
+		if end > len(terms) {
+			end = len(terms)
+		}
+		tb.mu.Lock()
+		if start == 0 {
+			tb.growLocked(len(terms))
+		}
+		for i := start; i < end; i++ {
+			ids[i] = tb.internLocked(terms[i])
+		}
+		tb.mu.Unlock()
+	}
+	return ids
+}
+
+// growLocked pre-sizes the table for up to n additional terms: the parallel
+// metadata slices grow once instead of doubling repeatedly mid-batch, and a
+// still-empty symbol map is replaced by one sized for the batch, avoiding
+// the incremental rehashes that otherwise dominate a bulk load into a fresh
+// table. n is an upper bound (duplicate terms intern to existing IDs), so
+// over-allocation is capped at one batch width. Callers hold the write lock.
+func (tb *Table) growLocked(n int) {
+	if n <= 64 {
+		return
+	}
+	tb.terms = slices.Grow(tb.terms, n)
+	tb.kinds = slices.Grow(tb.kinds, n)
+	tb.intVals = slices.Grow(tb.intVals, n)
+	tb.parts = slices.Grow(tb.parts, n)
+	// Which kind dominates the batch is unknown here, so every still-empty
+	// kind map is pre-sized — integer- and compound-heavy EDBs benefit
+	// exactly like symbolic ones, and an unused pre-sized map is bounded by
+	// one batch width like the slice over-allocation.
+	if len(tb.syms) == 0 {
+		tb.syms = make(map[string]ID, n)
+	}
+	if len(tb.ints) == 0 {
+		tb.ints = make(map[int64]ID, n)
+	}
+	if len(tb.comps) == 0 {
+		tb.comps = make(map[string]ID, n)
+	}
+}
+
+// internLocked interns with the write lock already held — the single
+// definition of the interning logic, shared by the one-at-a-time path
+// (intern) and the batch path (InternMany); compound arguments recurse
+// without re-locking.
+func (tb *Table) internLocked(t ast.Term) ID {
 	switch x := t.(type) {
 	case ast.Sym:
-		tb.mu.Lock()
-		defer tb.mu.Unlock()
 		if id, ok := tb.syms[x.Name]; ok {
 			return id
 		}
-		id := tb.appendTerm(x, kindSym, 0, compParts{})
+		id := tb.appendTerm(t, kindSym, 0, compParts{})
 		tb.syms[x.Name] = id
 		return id
 	case ast.Int:
-		tb.mu.Lock()
-		defer tb.mu.Unlock()
 		if id, ok := tb.ints[x.Value]; ok {
 			return id
 		}
-		id := tb.appendTerm(x, kindInt, x.Value, compParts{})
+		id := tb.appendTerm(t, kindInt, x.Value, compParts{})
 		tb.ints[x.Value] = id
 		return id
 	case ast.Compound:
 		args := make([]ID, len(x.Args))
 		for i, a := range x.Args {
-			args[i] = tb.Intern(a)
+			args[i] = tb.internLocked(a)
 		}
 		key := compKey(x.Functor, args)
-		tb.mu.Lock()
-		defer tb.mu.Unlock()
 		if id, ok := tb.comps[key]; ok {
 			return id
 		}
-		id := tb.appendTerm(x, kindComp, 0, compParts{functor: x.Functor, args: args})
+		id := tb.appendTerm(t, kindComp, 0, compParts{functor: x.Functor, args: args})
 		tb.comps[key] = id
 		return id
 	default:

@@ -132,3 +132,66 @@ func TestKindClassification(t *testing.T) {
 		t.Errorf("stale reader Kind = %v, want KindInt", stale.Kind(late))
 	}
 }
+
+// TestInternManyMatchesIntern pins that the batch interning path assigns
+// exactly the IDs the one-at-a-time path would, including deep compounds
+// and duplicates within the batch, and that it interoperates with terms
+// already interned singly.
+func TestInternManyMatchesIntern(t *testing.T) {
+	terms := []ast.Term{
+		ast.S("a"), ast.I(1), ast.C("f", ast.S("a"), ast.I(2)),
+		ast.S("a"), // duplicate
+		ast.C("cons", ast.S("x"), ast.C("cons", ast.S("y"), ast.S("nil"))),
+		ast.I(1), // duplicate
+	}
+	single := NewTable()
+	one := make([]ID, len(terms))
+	for i, tm := range terms {
+		one[i] = single.Intern(tm)
+	}
+	batch := NewTable()
+	many := batch.InternMany(terms)
+	if len(many) != len(one) {
+		t.Fatalf("InternMany returned %d ids, want %d", len(many), len(one))
+	}
+	for i := range terms {
+		if many[i] != one[i] {
+			t.Fatalf("id mismatch at %d: batch %d, single %d", i, many[i], one[i])
+		}
+		if got := batch.Term(many[i]); !ast.Equal(got, terms[i]) {
+			t.Fatalf("term %d round-trips to %v, want %v", i, got, terms[i])
+		}
+	}
+	if single.Len() != batch.Len() {
+		t.Fatalf("table sizes differ: %d vs %d", single.Len(), batch.Len())
+	}
+
+	// Mixing the two paths on one table stays consistent.
+	mixed := NewTable()
+	id := mixed.Intern(ast.C("f", ast.S("a"), ast.I(2)))
+	ids := mixed.InternMany(terms)
+	if ids[2] != id {
+		t.Fatalf("batch re-interned an existing compound: %d vs %d", ids[2], id)
+	}
+}
+
+// TestInternManyChunking pins that batches larger than one lock chunk are
+// interned completely and deduplicated across chunk boundaries.
+func TestInternManyChunking(t *testing.T) {
+	n := internBatchChunk*2 + 37
+	terms := make([]ast.Term, n)
+	for i := range terms {
+		terms[i] = ast.I(int64(i % (internBatchChunk + 5))) // repeats across chunks
+	}
+	tb := NewTable()
+	ids := tb.InternMany(terms)
+	for i, id := range ids {
+		v, ok := tb.IntValue(id)
+		if !ok || v != int64(i%(internBatchChunk+5)) {
+			t.Fatalf("id %d decodes to %d (%v), want %d", id, v, ok, i%(internBatchChunk+5))
+		}
+	}
+	if tb.Len() != internBatchChunk+5 {
+		t.Fatalf("table holds %d terms, want %d", tb.Len(), internBatchChunk+5)
+	}
+}
