@@ -1,0 +1,36 @@
+package datalog
+
+import (
+	"sync"
+	"testing"
+)
+
+// Zero-arity fact committed through the batch path leaves a nil tuple cache
+// entry; concurrent snapshot readers materializing it should race.
+func TestZeroArityTupleRaceTmp(t *testing.T) {
+	prog, err := Compile(`out(X) :- flag, p(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	txn := db.Begin()
+	if err := txn.AssertText(`flag. p(a). p(b).`); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngineWith(prog, db)
+	snap := eng.Snapshot()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := snap.Query("out(X)", Options{Strategy: TopDown}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
