@@ -8,13 +8,20 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet fmt-check bench bench-json bench-compare quickstart ci
+.PHONY: build test race vet fmt-check bench bench-json bench-compare quickstart ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# Focused race gate for the snapshot/txn/materialize surface: the packages
+# where lock-free snapshot readers, COW relations and commit-time view
+# maintenance meet. `make test` already runs everything under -race; this
+# target is the quick loop while working on that surface.
+race:
+	$(GO) test -race ./datalog/ ./internal/database/
 
 vet:
 	$(GO) vet ./...

@@ -14,8 +14,6 @@
 package datalog
 
 import (
-	"fmt"
-
 	"sync"
 
 	"repro/internal/ast"
@@ -28,11 +26,17 @@ import (
 // exactly one. Pair a Database with a compiled Program via NewEngineWith to
 // answer queries, or pin it with Snapshot for a stable view.
 type Database struct {
-	// mu guards store: evaluations against the live database hold the read
-	// lock for their whole duration, commits the write lock. Snapshots are
-	// taken under the read lock and read afterwards without any lock.
+	// mu guards store and mat: evaluations against the live database hold
+	// the read lock for their whole duration, commits the write lock.
+	// Snapshots are taken under the read lock and read afterwards without
+	// any lock.
 	mu    sync.RWMutex
 	store *database.Store
+	// mat is the database's materialized program registration, if any (see
+	// Materialize): commits run incremental maintenance through it inside
+	// their write-lock critical section, and queries of the registered
+	// program answer from the stored IDB by pure lookup.
+	mat *materialization
 }
 
 // NewDatabase returns an empty fact database at version 0, with a fresh
@@ -76,7 +80,12 @@ func (db *Database) TotalFacts() int {
 func (db *Database) Snapshot() *Snapshot {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return &Snapshot{store: db.store.Pin()}
+	// The materialization registration is captured together with the pin:
+	// maintenance runs under the write lock, so the pinned relations and the
+	// registration are mutually consistent, and the snapshot keeps answering
+	// from its pinned IDB even if the live database drops or replaces the
+	// materialization afterwards.
+	return &Snapshot{store: db.store.Pin(), mat: db.mat}
 }
 
 // commitOne applies a one-operation transaction: the atomic auto-commit
@@ -125,8 +134,5 @@ func (db *Database) loadFacts(atoms []ast.Atom) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, _, err := db.store.Apply(nil, atoms); err != nil {
-		return fmt.Errorf("datalog: %w", err)
-	}
-	return nil
+	return db.applyBatchLocked(nil, atoms)
 }

@@ -104,6 +104,62 @@
 // concurrent use; commits are serialized against in-flight live-engine
 // evaluations, while snapshot queries proceed without any lock.
 //
+// # Materialized views: stop paying for inference on reads
+//
+// Prepared queries amortize compilation but not derivation: every run still
+// evaluates the rules against the current facts. Database.Materialize moves
+// that work to the write side. It registers one Program with the database,
+// computes its IDB once, keeps the derived relations in the store, and after
+// every commit runs incremental maintenance seeded from exactly the facts
+// the batch added and removed — semi-naive deltas forward for asserts,
+// per-row derivation counts (non-recursive predicates) or delete-and-
+// rederive (recursive ones) for retracts. Maintenance cost is proportional
+// to the consequences of the batch, not to the database; EXPERIMENTS.md has
+// the measurements.
+//
+//	prog, _ := datalog.Compile(`
+//	    anc(X, Y) :- par(X, Y).
+//	    anc(X, Y) :- par(X, Z), anc(Z, Y).
+//	`)
+//	db := datalog.NewDatabase()
+//	// load par facts ...
+//	if err := db.Materialize(prog); err != nil { ... }
+//
+//	eng := datalog.NewEngineWith(prog, db)
+//	res, _ := eng.Query("anc(john, Y)", datalog.Options{})
+//	// res.Stats.MaterializedHit == true: the answer came from an index
+//	// lookup on the maintained anc relation — no rules were evaluated.
+//
+// Once registered, any query over a derived predicate of that program —
+// live, prepared or snapshot-pinned — short-circuits to a pure index lookup
+// whatever Options.Strategy says, and Stats.MaterializedHit reports it.
+// Queries over base predicates, other programs, or runs with
+// Options.NoMaterialize evaluate as before; the results are identical
+// either way (a differential test pins materialized ≡ cold re-derivation
+// across randomized commit sequences). Snapshots capture the registration
+// with the data: a snapshot keeps answering from its pinned derived
+// relations even after Dematerialize or a replacing Materialize on the live
+// database.
+//
+// The write side pays for the reads: a Txn.Commit against a database with a
+// registration runs maintenance inside the same critical section, so no
+// reader ever observes the base facts without their consequences. Commits
+// may no longer write derived predicates of the registered program (they
+// fail validation), and Materialize rejects a program whose derived
+// predicates already have stored base facts. If maintenance itself fails —
+// resource limits, a non-ground derived head — the facts stay committed,
+// the registration is dropped (queries fall back to evaluation), and Commit
+// returns the wrapped maintenance error.
+//
+// Choose Materialize when reads dominate writes or read latency is the
+// constraint; stay with prepared queries when writes dominate, when many
+// programs share one database, or when queries are too varied to pin one
+// program's IDB. MaterializedStats reports the registration's footprint and
+// work counters (facts kept, maintenance runs and semi-naive rounds,
+// derivation-count increments/decrements, rows rescued by rederivation, and
+// CountRows — the number of rows carrying a 4-byte derivation count, which
+// is the memory price of counting-based retraction).
+//
 // # Migrating from the monolithic Engine API
 //
 // Code written against the pre-split Engine keeps compiling and behaving
@@ -238,6 +294,13 @@ type Options struct {
 	// Like the Max limits it is a run-time option: it does not change the
 	// prepared query form.
 	FirstN int
+	// NoMaterialize disables the materialized-view fast path for this run:
+	// even when the database keeps the queried program's IDB materialized
+	// (Database.Materialize), the query evaluates from scratch under its
+	// strategy instead of answering by lookup. Differential tests use it to
+	// compare the maintained IDB against cold re-derivation; like FirstN it
+	// is a run-time option that does not change the prepared form.
+	NoMaterialize bool
 }
 
 // ErrLimitExceeded is returned (wrapped) when evaluation exceeds a limit set
@@ -321,6 +384,12 @@ type Stats struct {
 	// before it reached a fixpoint: the answers returned are sound but the
 	// derived-fact counters describe a truncated evaluation.
 	StoppedEarly bool
+	// MaterializedHit reports that the query was answered by pure index
+	// lookup from the database's materialized IDB (Database.Materialize): no
+	// evaluation ran, so the work counters (Derivations, JoinProbes, …) are
+	// zero and DerivedFacts is the stored size of the queried relation. The
+	// per-database aggregate counters live in MaterializedStats.
+	MaterializedHit bool
 }
 
 // TotalFacts returns DerivedFacts + AuxFacts.
@@ -547,7 +616,7 @@ func (e *Engine) QueryCtx(ctx context.Context, querySrc string, opts Options) (*
 	}
 	// One-shot queries carry no program pin: they resolved the engine's
 	// current program just above, so there is nothing to go stale.
-	pq := handleFor(engineView{eng: e}, form, q, opts)
+	pq := handleFor(engineView{eng: e}, prog, form, q, opts)
 	return pq.runMaterialized(ctx, q.BoundConstants(), opts, hit)
 }
 
@@ -631,10 +700,11 @@ func evalOptions(opts Options) eval.Options {
 
 // runView is where a query run reads its facts from: the live database
 // under its read lock (engineView), or a pinned snapshot without any lock
-// (snapView). acquire returns the store to evaluate over and a release
-// function paired with it.
+// (snapView). acquire returns the store to evaluate over, the store's
+// materialization registration (nil when none — the fast path checks it
+// against the run's program), and a release function paired with them.
 type runView interface {
-	acquire() (store *database.Store, release func(), err error)
+	acquire() (store *database.Store, mat *materialization, release func(), err error)
 }
 
 // engineView reads the engine's live database under the read lock. When
@@ -646,14 +716,14 @@ type engineView struct {
 	prog *Program
 }
 
-func (v engineView) acquire() (*database.Store, func(), error) {
+func (v engineView) acquire() (*database.Store, *materialization, func(), error) {
 	db := v.eng.db
 	db.mu.RLock()
 	if v.prog != nil && v.eng.prog.Load() != v.prog {
 		db.mu.RUnlock()
-		return nil, nil, fmt.Errorf("%w (program version %d)", ErrStaleProgram, v.prog.Version())
+		return nil, nil, nil, fmt.Errorf("%w (program version %d)", ErrStaleProgram, v.prog.Version())
 	}
-	return db.store, db.mu.RUnlock, nil
+	return db.store, db.mat, db.mu.RUnlock, nil
 }
 
 // fillEvalStats copies the bottom-up evaluator's statistics into the public

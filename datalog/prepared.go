@@ -64,6 +64,11 @@ type PreparedQuery struct {
 	// engine view also carries the program pin the staleness check compares
 	// against.
 	view runView
+	// prog identifies the program the form was prepared from, for the
+	// materialized-view fast path only (it matches by pointer against the
+	// view's registration; staleness is the view's concern, not this
+	// field's).
+	prog *Program
 	opts Options
 	// atom is the parsed query atom; its ground arguments are the default
 	// bound constants of Run().
@@ -96,7 +101,7 @@ func (e *Engine) Prepare(querySrc string, opts Options) (*PreparedQuery, error) 
 	if err != nil {
 		return nil, err
 	}
-	return handleFor(engineView{eng: e, prog: prog}, form, q, opts), nil
+	return handleFor(engineView{eng: e, prog: prog}, prog, form, q, opts), nil
 }
 
 // normalizeOptions resolves the zero values of the form-shaping options to
@@ -350,8 +355,8 @@ func (c *planCache) getOrBuild(key string, build func() (*preparedForm, error)) 
 // this caller's query constants, options and read view: two Prepare calls
 // that share a form still run with their own constants and runtime limits,
 // and against their own view (live engine or pinned snapshot).
-func handleFor(view runView, form *preparedForm, q ast.Query, opts Options) *PreparedQuery {
-	pq := &PreparedQuery{view: view, opts: opts, atom: q.Atom, form: form}
+func handleFor(view runView, prog *Program, form *preparedForm, q ast.Query, opts Options) *PreparedQuery {
+	pq := &PreparedQuery{view: view, prog: prog, opts: opts, atom: q.Atom, form: form}
 	for i, arg := range q.Atom.Args {
 		if ast.IsGround(arg) {
 			pq.boundPos = append(pq.boundPos, i)
@@ -382,6 +387,9 @@ func (pq *PreparedQuery) runCore(ctx context.Context, bound []ast.Term, opts Opt
 			return nil, nil, fmt.Errorf("datalog: bound argument %d (%s) is not ground", i, t)
 		}
 	}
+	if res, rows, ok, err := pq.runLookup(bound, opts, cacheHit); ok {
+		return res, rows, err
+	}
 	switch pq.opts.Strategy {
 	case Naive, SemiNaive:
 		return pq.runDirect(ctx, bound, opts, cacheHit)
@@ -390,6 +398,41 @@ func (pq *PreparedQuery) runCore(ctx context.Context, bound []ast.Term, opts Opt
 	default:
 		return pq.runRewritten(ctx, bound, opts, cacheHit)
 	}
+}
+
+// runLookup is the materialized-view fast path: when the view's store keeps
+// a materialization of exactly this query's program (Database.Materialize)
+// covering the queried predicate, the answer is read straight out of the
+// stored IDB relation — a pure index lookup, no evaluation — and ok reports
+// that the result is final. Any mismatch (no registration, a different
+// program, a base predicate, Options.NoMaterialize) falls through to the
+// strategy dispatch with ok=false. The whole-strategy semantics are
+// preserved because the maintained IDB is, by the maintenance invariant,
+// exactly the fixpoint a from-scratch evaluation would compute.
+func (pq *PreparedQuery) runLookup(bound []ast.Term, opts Options, cacheHit bool) (*Result, []Row, bool, error) {
+	if opts.NoMaterialize || pq.prog == nil {
+		return nil, nil, false, nil
+	}
+	store, mat, release, err := pq.view.acquire()
+	if err != nil {
+		// A stale prepared query fails identically on every path.
+		return nil, nil, true, err
+	}
+	atom := pq.atomWith(bound)
+	key := atom.PredKey()
+	if mat == nil || mat.prog != pq.prog || !mat.derived[key] {
+		release()
+		return nil, nil, false, nil
+	}
+	rows := pq.answerRows(store, key, atom, opts.FirstN)
+	facts := store.FactCount(key)
+	release()
+	mat.hits.Add(1)
+	res := &Result{Safety: pq.form.safetyCopy()}
+	pq.stampStats(res, cacheHit, false)
+	res.Stats.MaterializedHit = true
+	res.Stats.DerivedFacts = facts
+	return res, rows, true, nil
 }
 
 // stopAfterN builds the StopEarly predicate for Options.FirstN: evaluation
@@ -433,7 +476,7 @@ func (pq *PreparedQuery) runDirect(ctx context.Context, bound []ast.Term, opts O
 	atom := pq.atomWith(bound)
 	evalOpts := evalOptions(opts)
 	evalOpts.StopEarly = stopAfterN(opts.FirstN, atom.PredKey(), atom)
-	edb, release, err := pq.view.acquire()
+	edb, _, release, err := pq.view.acquire()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -487,7 +530,7 @@ func (pq *PreparedQuery) runTopDown(ctx context.Context, bound []ast.Term, opts 
 		MaxDerivations: opts.MaxDerivations,
 		FirstN:         opts.FirstN,
 	}
-	edb, release, err := pq.view.acquire()
+	edb, _, release, err := pq.view.acquire()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -520,7 +563,7 @@ func (pq *PreparedQuery) runRewritten(ctx context.Context, bound []ast.Term, opt
 	}
 	evalOpts := evalOptions(opts)
 	evalOpts.StopEarly = stopAfterN(opts.FirstN, pq.form.rewriting.AnswerPred, pattern)
-	edb, release, err := pq.view.acquire()
+	edb, _, release, err := pq.view.acquire()
 	if err != nil {
 		return nil, nil, err
 	}

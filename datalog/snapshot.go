@@ -38,6 +38,13 @@ var ErrNoProgram = errors.New("datalog: snapshot has no program bound (use Snaps
 type Snapshot struct {
 	store *database.Store // pinned, immutable
 	prog  *Program        // bound program, nil for data-only snapshots
+	// mat is the materialization registration captured when the snapshot was
+	// taken (nil when none was live): queries of the registered program
+	// answer from the pinned IDB relations by pure lookup, exactly as live
+	// queries do — and keep doing so even after the database drops or
+	// replaces its materialization, because the snapshot pinned the derived
+	// relations along with the base facts.
+	mat *materialization
 }
 
 // Version returns the commit version the snapshot observes.
@@ -58,7 +65,7 @@ func (s *Snapshot) Program() *Program { return s.prog }
 // bound to any number of programs (they share the pinned facts), which is
 // how a rule change is tested against a stable dataset.
 func (s *Snapshot) With(prog *Program) *Snapshot {
-	return &Snapshot{store: s.store, prog: prog}
+	return &Snapshot{store: s.store, prog: prog, mat: s.mat}
 }
 
 // program returns the bound program or the ErrNoProgram failure.
@@ -95,7 +102,7 @@ func (s *Snapshot) QueryCtx(ctx context.Context, querySrc string, opts Options) 
 	if err != nil {
 		return nil, err
 	}
-	pq := handleFor(snapView{s}, form, q, opts)
+	pq := handleFor(snapView{s}, prog, form, q, opts)
 	return pq.runMaterialized(ctx, q.BoundConstants(), opts, hit)
 }
 
@@ -119,7 +126,7 @@ func (s *Snapshot) Prepare(querySrc string, opts Options) (*PreparedQuery, error
 	if err != nil {
 		return nil, err
 	}
-	return handleFor(snapView{s}, form, q, opts), nil
+	return handleFor(snapView{s}, prog, form, q, opts), nil
 }
 
 // Stream evaluates a query against the pinned view and returns a cursor
@@ -145,6 +152,6 @@ func (s *Snapshot) Stream(ctx context.Context, querySrc string, opts Options) it
 // immutable, so acquiring it needs no lock and can never report staleness.
 type snapView struct{ snap *Snapshot }
 
-func (v snapView) acquire() (*database.Store, func(), error) {
-	return v.snap.store, func() {}, nil
+func (v snapView) acquire() (*database.Store, *materialization, func(), error) {
+	return v.snap.store, v.snap.mat, func() {}, nil
 }

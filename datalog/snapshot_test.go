@@ -448,3 +448,41 @@ func TestSnapshotIsolationUnderRace(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Zero-arity facts committed through the batch path historically left a nil
+// tuple-cache entry on the shared base relation, so concurrent snapshot
+// readers raced on the lazy materialization (ROADMAP item 1; run with
+// -race). appendRow now normalizes zero-arity rows to an empty tuple at
+// insert time, making every batch-committed row term-backed.
+func TestSnapshotZeroArityTupleRace(t *testing.T) {
+	prog, err := Compile(`out(X) :- flag, p(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	txn := db.Begin()
+	if err := txn.AssertText(`flag. p(a). p(b).`); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngineWith(prog, db)
+	snap := eng.Snapshot()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := snap.Query("out(X)", Options{Strategy: TopDown})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(res.Answers) != 2 {
+				t.Errorf("got %d answers, want 2", len(res.Answers))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -184,10 +184,12 @@ func (t *Txn) Commit() error {
 	db := t.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, _, err := db.store.Apply(t.retracts, t.asserts); err != nil {
-		return fmt.Errorf("datalog: %w", err)
-	}
-	return nil
+	// applyBatchLocked also runs incremental view maintenance when the
+	// database has a materialized program, inside this same critical
+	// section: no reader ever observes the batch's base facts without their
+	// derived consequences. Writes to the materialized program's derived
+	// predicates are rejected before anything is applied.
+	return db.applyBatchLocked(t.retracts, t.asserts)
 }
 
 // Rollback discards the buffered batch without touching the database. It is

@@ -31,6 +31,18 @@
 // Database, with SetProgram hot-swapping rules (stale prepared queries fail
 // closed with datalog.ErrStaleProgram).
 //
+// On top of the split sits incremental view maintenance:
+// Database.Materialize registers a Program whose derived relations are
+// computed once and then kept current inside every commit — semi-naive
+// deltas seeded from exactly the facts the batch changed, with per-row
+// derivation counts (non-recursive predicates) or delete-and-rederive
+// (recursive ones) handling retraction without recomputation. Queries over
+// materialized predicates, live or snapshot-pinned, skip evaluation
+// entirely and answer by index lookup (Stats.MaterializedHit); maintenance
+// cost is proportional to the batch's consequences, not the database (see
+// EXPERIMENTS.md). ARCHITECTURE.md is the map of how all of this fits
+// together, stage by stage and package by package.
+//
 // Query forms (predicate + binding pattern + strategy + sip) are adorned,
 // rewritten and compiled once — explicitly via Engine.Prepare /
 // PreparedQuery.RunCtx, or transparently inside Engine.QueryCtx and

@@ -245,7 +245,7 @@ func TestApplyBulkRetract(t *testing.T) {
 	if s.Existing("p").Contains(Tuple{ast.S("a3"), ast.S("b3")}) {
 		t.Fatal("retracted fact still present")
 	}
-	// Insertion order of the survivors is preserved and lookups still work.
+	// Lookups see the shrunken relation (indexes repaired in place).
 	rel := s.Existing("p")
 	if got := rel.Lookup([]int{0}, []ast.Term{ast.S("a4")}); len(got) != 1 {
 		t.Fatalf("lookup after bulk retract returned %d positions, want 1", len(got))

@@ -121,8 +121,10 @@ type colIndex struct {
 }
 
 // Relation is a set of ground tuples of fixed arity with optional hash
-// indexes on subsets of columns. Tuples are kept in insertion order; adding
-// a duplicate tuple is a no-op.
+// indexes on subsets of columns. Tuples are appended in insertion order and
+// adding a duplicate tuple is a no-op; deletions swap the last row into the
+// vacated position (see Delete), so positions are stable only between
+// deletions and readers wanting a canonical order use Sorted.
 type Relation struct {
 	// Name is the predicate key this relation stores (e.g. "anc", "sg^bf",
 	// "magic_sg^bf").
@@ -134,8 +136,12 @@ type Relation struct {
 	tab *intern.Table
 
 	// tuples caches materialized term tuples, parallel to rows; a nil entry
-	// means the tuple has not been read back as terms yet.
+	// means the tuple has not been read back as terms yet. lazy counts the
+	// nil entries, so the eager-materialization sweep the maintenance layer
+	// runs per commit (MaterializeTuples) can stop as soon as every pending
+	// tuple is built instead of scanning the whole relation.
 	tuples []Tuple
+	lazy   int
 	rows   [][]intern.ID
 	// seen and chain form the duplicate-detection hash table as an intrusive
 	// chain: seen maps a full-row hash to the newest row position with that
@@ -162,6 +168,14 @@ type Relation struct {
 	// probes counts indexed lookups, hits the tuples they returned. Atomic
 	// because concurrent evaluations probe shared base relations.
 	probes, hits atomic.Int64
+
+	// counts, when non-nil, holds one derivation count per row (parallel to
+	// rows): the number of distinct rule-body instantiations currently
+	// deriving the tuple. The incremental maintenance layer (internal/eval)
+	// enables it on materialized non-recursive IDB relations so a retract can
+	// decrement instead of recompute; see maintain.go. A nil slice means the
+	// relation is an ordinary set.
+	counts []int32
 
 	// shared marks the relation as pinned by at least one store snapshot
 	// (Store.Pin): the relation must no longer be mutated in place. Write
@@ -201,13 +215,17 @@ func (r *Relation) Table() *intern.Table { return r.tab }
 // Len returns the number of tuples in the relation.
 func (r *Relation) Len() int { return len(r.rows) }
 
-// Tuples returns the tuple slice in insertion order, materializing (and
+// Tuples returns the tuple slice in position order (insertion order until
+// the first deletion; see Delete), materializing (and
 // caching) any tuples that so far exist only as ID rows. Because of that
 // cache fill it is a mutating read: it must not be called concurrently
 // with any other access to the relation. Callers must not modify the
 // returned slice or its tuples.
 func (r *Relation) Tuples() []Tuple {
 	for pos := range r.rows {
+		if r.lazy == 0 {
+			break
+		}
 		if r.tuples[pos] == nil {
 			r.materialize(pos)
 		}
@@ -224,6 +242,7 @@ func (r *Relation) materialize(pos int) Tuple {
 		t[i] = r.tab.Term(id)
 	}
 	r.tuples[pos] = t
+	r.lazy--
 	return t
 }
 
@@ -290,6 +309,15 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 // appendRow records a verified-new row (and its optional materialized tuple)
 // under the given full-row hash, maintaining existing indexes incrementally.
 func (r *Relation) appendRow(row []intern.ID, t Tuple, h uint64) {
+	// A zero-arity row has no constants, so its materialized tuple is always
+	// the canonical empty tuple — build it here rather than leaving a nil
+	// cache entry. A nil entry would make the first Tuple read a mutating
+	// lazy fill, and zero-arity facts reach shared base relations through
+	// the batch path (Store.Apply passes Tuple(a.Args) with nil Args), where
+	// concurrent snapshot readers would race on that fill.
+	if t == nil && len(row) == 0 {
+		t = Tuple{}
+	}
 	pos := int32(len(r.rows))
 	if prev, ok := r.seen[h]; ok {
 		r.chain = append(r.chain, prev)
@@ -297,8 +325,14 @@ func (r *Relation) appendRow(row []intern.ID, t Tuple, h uint64) {
 		r.chain = append(r.chain, -1)
 	}
 	r.seen[h] = pos
+	if t == nil {
+		r.lazy++
+	}
 	r.tuples = append(r.tuples, t)
 	r.rows = append(r.rows, row)
+	if r.counts != nil {
+		r.counts = append(r.counts, 1)
+	}
 	if m := r.indexes.Load(); m != nil {
 		for _, idx := range *m {
 			k := hashProjection(row, idx.cols)
@@ -340,6 +374,15 @@ func (r *Relation) Row(pos int) []intern.ID { return r.rows[pos] }
 // already checked groundness and arity (Store.Apply); like all inserts it is
 // a single-writer operation.
 func (r *Relation) InsertBulk(atoms []ast.Atom, ids []intern.ID) int {
+	return r.insertBulk(atoms, ids, nil)
+}
+
+// insertBulk is InsertBulk with optional delta capture: rows actually added
+// are recorded into capture too (sharing the row storage and term tuples),
+// for Store.ApplyDelta. A row new to r cannot already be in the
+// batch-private capture relation, so it is appended without a second
+// duplicate check.
+func (r *Relation) insertBulk(atoms []ast.Atom, ids []intern.ID, capture *Relation) int {
 	// Pre-size the row storage and, when the relation is freshly created for
 	// this batch, the hash table: growing a large map incrementally rehashes
 	// it log-many times, which profiles as a top cost of bulk loads.
@@ -358,21 +401,22 @@ func (r *Relation) InsertBulk(atoms []ast.Atom, ids []intern.ID) int {
 			continue
 		}
 		r.appendRow(row, Tuple(a.Args), h)
+		if capture != nil {
+			capture.appendRow(row, Tuple(a.Args), h)
+		}
 		added++
 	}
 	return added
 }
 
 // Delete removes a tuple from the relation, reporting whether it was
-// present. Deletion preserves the insertion order of the remaining tuples
-// but shifts their positions, so the full-row hash table's position lists
-// are fixed up (O(rows)) and all indexes are dropped (to be rebuilt lazily
-// on the next Lookup). It is an administrative-path operation: retracting m
-// facts costs m linear fixups, so a bulk-retraction workload large enough
-// to care should grow a batch-delete entry point that compacts once. Like
-// inserts, Delete is a single-writer operation: it must not run concurrently
-// with any other access to the relation (the engine calls it only under its
-// write lock, with no evaluation in flight).
+// present. It is an O(1) swap deletion (see removeAt): the last row moves
+// into the vacated slot, so deletion does not preserve the position order of
+// the survivors, but built indexes and the duplicate-detection hash chains
+// are repaired in place rather than rebuilt. Like inserts, Delete is a
+// single-writer operation: it must not run concurrently with any other
+// access to the relation (the engine calls it only under its write lock,
+// with no evaluation in flight).
 func (r *Relation) Delete(t Tuple) (bool, error) {
 	if len(t) != r.Arity {
 		return false, fmt.Errorf("relation %s: deleting tuple of arity %d from relation of arity %d", r.Name, len(t), r.Arity)
@@ -389,23 +433,27 @@ func (r *Relation) Delete(t Tuple) (bool, error) {
 	if pos < 0 {
 		return false, nil
 	}
-	r.rows = append(r.rows[:pos], r.rows[pos+1:]...)
-	r.tuples = append(r.tuples[:pos], r.tuples[pos+1:]...)
-	// Every position behind the deleted row shifts, so rebuild the hash
-	// chains from the remaining rows (O(rows), like the old in-place fixup).
-	r.rebuildSeen()
-	r.indexes.Store(nil)
+	r.swapDelete(pos)
 	return true, nil
 }
 
 // DeleteBulk removes every stored tuple of ts from the relation, returning
 // how many were present (a tuple retracted twice counts once, like two
-// Delete calls). Unlike k Delete calls — each an O(rows) shift plus hash
-// rebuild — the bulk path locates all positions first, compacts the row
-// storage in one pass, and rebuilds the hash chains and drops the indexes
-// once, so a batch retract is O(rows + k) regardless of k. Like Delete it
-// is a single-writer operation.
+// Delete calls). The bulk path locates all positions first, then removes
+// them through removeAt: O(k) swap deletions with in-place index repair when
+// k is small against the relation, one compaction pass with a hash rebuild
+// and an index drop when it is not. Like Delete it is a single-writer
+// operation.
 func (r *Relation) DeleteBulk(ts []Tuple) int {
+	return r.deleteBulk(ts, nil)
+}
+
+// deleteBulk is DeleteBulk with optional delta capture: when capture is
+// non-nil, every row actually removed is recorded into it (with its
+// materialized tuple, so the capture never needs a lazy fill) before the
+// compaction. Store.ApplyDelta uses it to hand the maintenance layer the
+// exact set of facts a commit retracted.
+func (r *Relation) deleteBulk(ts []Tuple, capture *Relation) int {
 	var remove []int
 	for _, t := range ts {
 		if len(t) != r.Arity {
@@ -428,28 +476,160 @@ func (r *Relation) DeleteBulk(ts []Tuple) int {
 			remove = append(remove, pos)
 		}
 	}
+	return r.removeAt(remove, capture)
+}
+
+// removeAt deletes the rows at the given positions (unsorted, possibly
+// duplicated), optionally capturing the removed rows, and returns how many
+// rows were removed. Small deletions (the incremental-maintenance steady
+// state: a handful of rows out of a large relation) are applied by swapping
+// the last row into each vacated slot, fixing the hash chains and index
+// buckets of just the two rows involved — O(k), independent of the relation
+// size. Mass deletions fall back to a single compaction pass with a hash
+// rebuild and an index drop, which is cheaper than k swap fixups once k is a
+// real fraction of the rows. Deletion does not preserve the insertion order
+// of the survivors (the swap moves the last row into the gap).
+func (r *Relation) removeAt(remove []int, capture *Relation) int {
 	if len(remove) == 0 {
 		return 0
 	}
-	// Sort and deduplicate (the same fact may appear twice in one batch),
-	// then compact rows and tuples in a single pass.
+	// Sort and deduplicate (the same fact may appear twice in one batch).
 	sort.Ints(remove)
 	remove = slices.Compact(remove)
+	if capture != nil {
+		for _, pos := range remove {
+			capture.insertRowTuple(r.rows[pos], r.Tuple(pos))
+		}
+	}
+	if len(remove)*8 < len(r.rows) {
+		// Descending order: every position above the one being removed has
+		// already been removed or is a keeper, so the last row is always a
+		// keeper (or the removed row itself) when it is swapped in.
+		for k := len(remove) - 1; k >= 0; k-- {
+			r.swapDelete(remove[k])
+		}
+		return len(remove)
+	}
 	out, k := 0, 0
 	for pos := range r.rows {
 		if k < len(remove) && remove[k] == pos {
+			if r.tuples[pos] == nil {
+				r.lazy--
+			}
 			k++
 			continue
 		}
 		r.rows[out] = r.rows[pos]
 		r.tuples[out] = r.tuples[pos]
+		if r.counts != nil {
+			r.counts[out] = r.counts[pos]
+		}
 		out++
 	}
 	r.rows = r.rows[:out]
 	r.tuples = r.tuples[:out]
+	if r.counts != nil {
+		r.counts = r.counts[:out]
+	}
 	r.rebuildSeen()
 	r.indexes.Store(nil)
 	return len(remove)
+}
+
+// swapDelete removes the row at pos by moving the last row into its place,
+// repairing the duplicate-detection hash chains and every built index bucket
+// for exactly the two rows involved.
+func (r *Relation) swapDelete(pos int) {
+	last := len(r.rows) - 1
+	if r.tuples[pos] == nil {
+		r.lazy--
+	}
+	r.unlink(int32(pos), hashRow(r.rows[pos]))
+	r.indexDelete(pos)
+	if pos != last {
+		h := hashRow(r.rows[last])
+		r.unlink(int32(last), h)
+		r.indexMove(last, pos)
+		r.rows[pos] = r.rows[last]
+		r.tuples[pos] = r.tuples[last]
+		if r.counts != nil {
+			r.counts[pos] = r.counts[last]
+		}
+		if prev, ok := r.seen[h]; ok {
+			r.chain[pos] = prev
+		} else {
+			r.chain[pos] = -1
+		}
+		r.seen[h] = int32(pos)
+	}
+	r.rows = r.rows[:last]
+	r.tuples = r.tuples[:last]
+	r.chain = r.chain[:last]
+	if r.counts != nil {
+		r.counts = r.counts[:last]
+	}
+}
+
+// unlink removes one position from the hash chain of the given full-row
+// hash. The expected chain length is 1 (collisions merely share a chain), so
+// the predecessor walk is O(1) in practice.
+func (r *Relation) unlink(pos int32, h uint64) {
+	head, ok := r.seen[h]
+	if !ok {
+		return
+	}
+	if head == pos {
+		if next := r.chain[pos]; next >= 0 {
+			r.seen[h] = next
+		} else {
+			delete(r.seen, h)
+		}
+		return
+	}
+	for p := head; p >= 0; p = r.chain[p] {
+		if r.chain[p] == pos {
+			r.chain[p] = r.chain[pos]
+			return
+		}
+	}
+}
+
+// indexDelete drops the row at pos from the bucket of every built index.
+func (r *Relation) indexDelete(pos int) {
+	m := r.indexes.Load()
+	if m == nil {
+		return
+	}
+	for _, idx := range *m {
+		k := hashProjection(r.rows[pos], idx.cols)
+		bucket := idx.buckets[k]
+		for i, p := range bucket {
+			if p == pos {
+				bucket[i] = bucket[len(bucket)-1]
+				idx.buckets[k] = bucket[:len(bucket)-1]
+				break
+			}
+		}
+	}
+}
+
+// indexMove rewrites the row's position from `from` to `to` in the bucket of
+// every built index, for the swap half of swapDelete.
+func (r *Relation) indexMove(from, to int) {
+	m := r.indexes.Load()
+	if m == nil {
+		return
+	}
+	for _, idx := range *m {
+		k := hashProjection(r.rows[from], idx.cols)
+		bucket := idx.buckets[k]
+		for i, p := range bucket {
+			if p == from {
+				bucket[i] = to
+				break
+			}
+		}
+	}
 }
 
 // rebuildSeen reconstructs the duplicate-detection hash chains from the
@@ -651,8 +831,12 @@ func (r *Relation) Tuple(pos int) Tuple {
 // allocating fresh ones every round.
 func (r *Relation) Reset() {
 	r.tuples = r.tuples[:0]
+	r.lazy = 0
 	r.rows = r.rows[:0]
 	r.chain = r.chain[:0]
+	if r.counts != nil {
+		r.counts = r.counts[:0]
+	}
 	clear(r.seen)
 	if m := r.indexes.Load(); m != nil {
 		for _, idx := range *m {
@@ -678,8 +862,12 @@ func (r *Relation) Reset() {
 func (r *Relation) Clone() *Relation {
 	c := NewRelationWith(r.tab, r.Name, r.Arity)
 	c.tuples = append([]Tuple(nil), r.tuples...)
+	c.lazy = r.lazy
 	c.rows = append([][]intern.ID(nil), r.rows...)
 	c.chain = append([]int32(nil), r.chain...)
+	if r.counts != nil {
+		c.counts = append([]int32(nil), r.counts...)
+	}
 	c.seen = make(map[uint64]int32, len(r.seen))
 	for h, pos := range r.seen {
 		c.seen[h] = pos
@@ -1044,6 +1232,54 @@ func (s *Store) writable(name string) *Relation {
 // (retracting an absent fact and asserting a present one are no-ops, as in
 // RemoveFact/AddFact).
 func (s *Store) Apply(retracts, asserts []ast.Atom) (removed, added int, err error) {
+	return s.applyBatch(retracts, asserts, nil, nil)
+}
+
+// ApplyDelta is Apply that additionally captures the batch's effective
+// delta: the facts actually removed and actually added (no-op retracts of
+// absent facts and asserts of present facts excluded) are recorded into two
+// fresh side stores sharing s's symbol table, so their ID rows are directly
+// comparable with s's. The incremental view maintenance layer seeds its
+// semi-naive delta rounds from these stores; the batch is the Δ unit. On
+// error both side stores are nil and s is untouched, exactly like Apply.
+func (s *Store) ApplyDelta(retracts, asserts []ast.Atom) (minus, plus *Store, removed, added int, err error) {
+	minus, plus = NewStoreWith(s.tab), NewStoreWith(s.tab)
+	removed, added, err = s.applyBatch(retracts, asserts, minus, plus)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	netDelta(minus, plus)
+	return minus, plus, removed, added, nil
+}
+
+// netDelta cancels retract-then-assert pairs out of a captured batch delta:
+// a row removed and re-added in one batch is present before and after the
+// commit, so for the maintenance layer it is a no-op — leaving it in both
+// sides would make the reconstructed OLD state wrong (the exclusion of the
+// plus side would hide a row that did exist before the batch).
+func netDelta(minus, plus *Store) {
+	for _, name := range minus.Names() {
+		mrel := minus.Existing(name)
+		prel := plus.Existing(name)
+		if prel == nil {
+			continue
+		}
+		var both [][]intern.ID
+		for pos := 0; pos < mrel.Len(); pos++ {
+			if prel.ContainsRow(mrel.Row(pos)) {
+				both = append(both, mrel.Row(pos))
+			}
+		}
+		if len(both) > 0 {
+			mrel.DeleteRows(both)
+			prel.DeleteRows(both)
+		}
+	}
+}
+
+// applyBatch implements Apply/ApplyDelta; minus and plus, when non-nil,
+// capture the effective retract and assert deltas.
+func (s *Store) applyBatch(retracts, asserts []ast.Atom, minus, plus *Store) (removed, added int, err error) {
 	if s.base != nil {
 		return 0, 0, fmt.Errorf("Apply on an overlay store")
 	}
@@ -1109,15 +1345,15 @@ func (s *Store) Apply(retracts, asserts []ast.Atom) (removed, added int, err err
 
 	// Mutation pass: all-or-nothing from here on (no error paths remain that
 	// could abandon a half-applied batch).
-	removed = s.applyRetracts(retracts)
+	removed = s.applyRetracts(retracts, minus)
 	if len(asserts) > 0 {
 		if singlePred {
 			// The common bulk-load shape — one relation for the whole batch
 			// (an EDB file per predicate) — inserts straight from the callers'
 			// slice, with no per-group copying.
-			added = s.applyGroup(asserts[0].PredKey(), len(asserts[0].Args), asserts)
+			added = s.applyGroup(asserts[0].PredKey(), len(asserts[0].Args), asserts, plus)
 		} else {
-			added = s.applyGrouped(asserts)
+			added = s.applyGrouped(asserts, plus)
 		}
 	}
 	s.version++
@@ -1128,7 +1364,7 @@ func (s *Store) Apply(retracts, asserts []ast.Atom) (removed, added int, err err
 // per touched relation (Relation.DeleteBulk) rather than one O(rows) Delete
 // per fact. Retract batches touch few distinct predicates, so the grouping
 // is a linear-scanned slice.
-func (s *Store) applyRetracts(retracts []ast.Atom) (removed int) {
+func (s *Store) applyRetracts(retracts []ast.Atom, minus *Store) (removed int) {
 	if len(retracts) == 0 {
 		return 0
 	}
@@ -1157,13 +1393,25 @@ func (s *Store) applyRetracts(retracts []ast.Atom) (removed int) {
 		if rel == nil {
 			continue
 		}
-		removed += rel.DeleteBulk(g.tuples)
+		var capture *Relation
+		if minus != nil {
+			capture = must(minus.Relation(g.key, rel.Arity))
+		}
+		removed += rel.deleteBulk(g.tuples, capture)
 	}
 	return removed
 }
 
+// must unwraps a relation accessor that cannot fail on a validated batch.
+func must(r *Relation, err error) *Relation {
+	if err != nil {
+		panic(fmt.Sprintf("database: validated batch relation access failed: %v", err))
+	}
+	return r
+}
+
 // applyGroup bulk-interns and bulk-inserts one relation's validated asserts.
-func (s *Store) applyGroup(key string, arity int, atoms []ast.Atom) int {
+func (s *Store) applyGroup(key string, arity int, atoms []ast.Atom, plus *Store) int {
 	rel := s.writable(key)
 	if rel == nil {
 		var err error
@@ -1172,19 +1420,23 @@ func (s *Store) applyGroup(key string, arity int, atoms []ast.Atom) int {
 			panic(fmt.Sprintf("database: validated assert group failed: %v", err))
 		}
 	}
+	var capture *Relation
+	if plus != nil {
+		capture = must(plus.Relation(key, arity))
+	}
 	// Flatten the group's constants and intern them in bulk: one ID slice
 	// backs every row of the group.
 	flat := make([]ast.Term, 0, len(atoms)*arity)
 	for _, a := range atoms {
 		flat = append(flat, a.Args...)
 	}
-	return rel.InsertBulk(atoms, s.tab.InternMany(flat))
+	return rel.insertBulk(atoms, s.tab.InternMany(flat), capture)
 }
 
 // applyGrouped splits a validated multi-predicate batch into per-relation
 // groups (first-appearance order, batch order within each group) and
 // bulk-inserts each.
-func (s *Store) applyGrouped(asserts []ast.Atom) int {
+func (s *Store) applyGrouped(asserts []ast.Atom, plus *Store) int {
 	type group struct {
 		key   string
 		arity int
@@ -1204,7 +1456,7 @@ func (s *Store) applyGrouped(asserts []ast.Atom) int {
 	}
 	added := 0
 	for _, g := range groups {
-		added += s.applyGroup(g.key, g.arity, g.atoms)
+		added += s.applyGroup(g.key, g.arity, g.atoms, plus)
 	}
 	return added
 }

@@ -298,7 +298,8 @@ func TestRelationDelete(t *testing.T) {
 	if r.Contains(tup("c", "d")) {
 		t.Error("deleted tuple still reported by Contains")
 	}
-	// Insertion order of the survivors is preserved.
+	// The survivors are intact (swap deletion moves the last row into the
+	// vacated slot, so here "e,f" takes the deleted row's position).
 	tuples := r.Tuples()
 	if !tuples[0].Equal(tup("a", "b")) || !tuples[1].Equal(tup("e", "f")) {
 		t.Errorf("tuples after delete = %v", tuples)
