@@ -16,12 +16,13 @@ build:
 test:
 	$(GO) test -race ./...
 
-# Focused race gate for the snapshot/txn/materialize surface: the packages
-# where lock-free snapshot readers, COW relations and commit-time view
-# maintenance meet. `make test` already runs everything under -race; this
-# target is the quick loop while working on that surface.
+# Focused race gate for the snapshot/txn/materialize/parallel-eval surface:
+# the packages where lock-free snapshot readers, COW relations, commit-time
+# view maintenance and the parallel fixpoint worker pool meet. `make test`
+# already runs everything under -race; this target is the quick loop while
+# working on that surface.
 race:
-	$(GO) test -race ./datalog/ ./internal/database/
+	$(GO) test -race ./datalog/ ./internal/database/ ./internal/eval/
 
 vet:
 	$(GO) vet ./...

@@ -316,6 +316,38 @@ func BenchmarkTransitiveClosure(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelFixpoint measures the parallel fixpoint evaluator on a
+// transitive closure over a dense random graph — deltas well past the
+// partition threshold, so the hash-partitioned shard rounds carry the work.
+// p=1 runs the exact sequential path (the overhead baseline); the higher
+// worker counts show the speedup-per-core curve recorded in EXPERIMENTS.md.
+func BenchmarkParallelFixpoint(b *testing.B) {
+	prog := parser.MustParseProgram(ancestorSrc)
+	edb, _ := workload.RandomGraph("p", 512, 1024, 9)
+	want := -1
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("n=512/p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				store, stats, err := eval.SemiNaive(eval.Options{Parallelism: p}).Evaluate(prog, edb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got := store.FactCount("a")
+				if want < 0 {
+					want = got
+				}
+				if got != want || got == 0 {
+					b.Fatalf("a facts = %d, want %d", got, want)
+				}
+				if p > 1 && stats.WorkerRounds == 0 {
+					b.Fatal("partitioned rounds never fired; workload below threshold")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSameGeneration evaluates the nonlinear same-generation program to
 // fixpoint over layered data: a join-heavy workload exercising the
 // bound-column indexes and the delta scheduler.

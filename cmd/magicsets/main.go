@@ -7,7 +7,7 @@
 //	          [-strategy magic] [-sip full] [-semijoin] \
 //	          [-show-rewrite] [-show-safety] [-stats] \
 //	          [-max-iterations N] [-max-facts N] [-max-derivations N] \
-//	          [-repeat N] [-timeout D] [-first-n N] [-stream]
+//	          [-repeat N] [-timeout D] [-first-n N] [-parallelism N] [-stream]
 //
 // The program file contains rules (and optionally facts); the facts file
 // contains ground facts only and is loaded in a single transaction — a
@@ -27,6 +27,9 @@
 // counting query without guessing iteration limits), -first-n stops the
 // evaluation as soon as N answers exist, and -stream consumes the answers
 // through the typed streaming cursor instead of the materialized result.
+// -parallelism sets the worker count of the bottom-up fixpoint (0 =
+// GOMAXPROCS, 1 = sequential); under -stats the parallel scheduler reports
+// how many components it ran and how many partitioned shard rounds fired.
 package main
 
 import (
@@ -85,6 +88,7 @@ func run(args []string, out io.Writer) error {
 	repeat := fs.Int("repeat", 1, "prepare the query once and run it N times, reporting the amortized per-run time")
 	timeout := fs.Duration("timeout", 0, "bound the wall-clock evaluation time via a context deadline (0 = none)")
 	firstN := fs.Int("first-n", 0, "stop the evaluation once N answers exist (0 = all answers)")
+	parallelism := fs.Int("parallelism", 0, "worker count for the bottom-up fixpoint (0 = GOMAXPROCS, 1 = sequential)")
 	stream := fs.Bool("stream", false, "consume the answers through the streaming cursor")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +144,7 @@ func run(args []string, out io.Writer) error {
 		MaxFacts:       *maxFacts,
 		MaxDerivations: *maxDerivations,
 		FirstN:         *firstN,
+		Parallelism:    *parallelism,
 	}
 
 	ctx := context.Background()
@@ -235,6 +240,10 @@ func run(args []string, out io.Writer) error {
 		if s.CompiledPlans > 0 {
 			fmt.Fprintf(out, "%%   compiled plans:  %d (%d ops)\n", s.CompiledPlans, s.PlanOps)
 			fmt.Fprintf(out, "%%   pipeline ops:    %d probes, %d scans\n", s.OpProbes, s.OpScans)
+		}
+		if s.ParallelComponents > 0 {
+			fmt.Fprintf(out, "%%   parallel eval:   %d component(s) scheduled, %d worker shard round(s)\n",
+				s.ParallelComponents, s.WorkerRounds)
 		}
 		if s.StoppedEarly {
 			fmt.Fprintf(out, "%%   stopped early:   after %d answer(s) (-first-n)\n", len(res.Answers))

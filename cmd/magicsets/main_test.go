@@ -87,3 +87,44 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunParallelismFlag(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "anc.dl", `
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- par(X, Z), anc(Z, Y).
+		par(a, b). par(b, c). par(c, d).
+	`)
+
+	// A parallel run reports the scheduler counters under -stats and still
+	// returns the exact sequential answers.
+	var par bytes.Buffer
+	err := run([]string{
+		"-program", prog, "-query", "anc(a, Y)",
+		"-strategy", "semi-naive", "-parallelism", "4", "-stats",
+	}, &par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"3 answer(s)", "parallel eval:", "component(s) scheduled"} {
+		if !strings.Contains(par.String(), want) {
+			t.Errorf("parallel output missing %q:\n%s", want, par.String())
+		}
+	}
+
+	// A sequential run answers identically and omits the parallel line.
+	var seq bytes.Buffer
+	err = run([]string{
+		"-program", prog, "-query", "anc(a, Y)",
+		"-strategy", "semi-naive", "-parallelism", "1", "-stats",
+	}, &seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(seq.String(), "3 answer(s)") {
+		t.Errorf("sequential run expected 3 answers:\n%s", seq.String())
+	}
+	if strings.Contains(seq.String(), "parallel eval:") {
+		t.Errorf("sequential run must not report parallel statistics:\n%s", seq.String())
+	}
+}

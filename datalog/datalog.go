@@ -301,6 +301,16 @@ type Options struct {
 	// compare the maintained IDB against cold re-derivation; like FirstN it
 	// is a run-time option that does not change the prepared form.
 	NoMaterialize bool
+	// Parallelism is the number of workers the bottom-up fixpoint may use:
+	// independent strongly connected components of the evaluated program run
+	// concurrently, and large delta rounds are hash-partitioned across
+	// workers. 0 means GOMAXPROCS, 1 forces the exact sequential evaluation.
+	// The answers are identical either way; Stats.ParallelComponents and
+	// Stats.WorkerRounds report how much parallel machinery actually
+	// engaged. The Naive and TopDown strategies always evaluate
+	// sequentially. Like the Max limits it is a run-time option: it does not
+	// change the prepared query form.
+	Parallelism int
 }
 
 // ErrLimitExceeded is returned (wrapped) when evaluation exceeds a limit set
@@ -390,6 +400,14 @@ type Stats struct {
 	// zero and DerivedFacts is the stored size of the queried relation. The
 	// per-database aggregate counters live in MaterializedStats.
 	MaterializedHit bool
+	// ParallelComponents is the number of dependency-graph components the
+	// parallel fixpoint scheduler ran (0 when evaluation was sequential:
+	// Options.Parallelism 1, a Naive/TopDown strategy, or a materialized
+	// hit). WorkerRounds counts per-shard executions of hash-partitioned
+	// delta rounds; it stays 0 when every round was below the partitioning
+	// threshold even though components may still have run concurrently.
+	ParallelComponents int
+	WorkerRounds       int64
 }
 
 // TotalFacts returns DerivedFacts + AuxFacts.
@@ -695,6 +713,7 @@ func evalOptions(opts Options) eval.Options {
 		MaxIterations:  opts.MaxIterations,
 		MaxFacts:       opts.MaxFacts,
 		MaxDerivations: opts.MaxDerivations,
+		Parallelism:    opts.Parallelism,
 	}
 }
 
@@ -743,6 +762,8 @@ func fillEvalStats(dst *Stats, stats *eval.Stats) {
 	dst.OpProbes = stats.OpProbes
 	dst.OpScans = stats.OpScans
 	dst.StoppedEarly = stats.StoppedEarly
+	dst.ParallelComponents = stats.ParallelComponents
+	dst.WorkerRounds = stats.WorkerRounds
 }
 
 func wrapLimit(err error) error {

@@ -476,6 +476,7 @@ func (pq *PreparedQuery) runDirect(ctx context.Context, bound []ast.Term, opts O
 	atom := pq.atomWith(bound)
 	evalOpts := evalOptions(opts)
 	evalOpts.StopEarly = stopAfterN(opts.FirstN, atom.PredKey(), atom)
+	evalOpts.StopEarlyPred = atom.PredKey()
 	edb, _, release, err := pq.view.acquire()
 	if err != nil {
 		return nil, nil, err
@@ -563,6 +564,7 @@ func (pq *PreparedQuery) runRewritten(ctx context.Context, bound []ast.Term, opt
 	}
 	evalOpts := evalOptions(opts)
 	evalOpts.StopEarly = stopAfterN(opts.FirstN, pq.form.rewriting.AnswerPred, pattern)
+	evalOpts.StopEarlyPred = pq.form.rewriting.AnswerPred
 	edb, _, release, err := pq.view.acquire()
 	if err != nil {
 		return nil, nil, err

@@ -361,6 +361,42 @@ func (r *Relation) InsertRow(row []intern.ID) (bool, error) {
 // by the relation and must not be modified.
 func (r *Relation) Row(pos int) []intern.ID { return r.rows[pos] }
 
+// ScatterShard appends to dst the source rows whose full-row hash falls into
+// shard w of k, skipping rows dst already holds. The inner row slices are
+// shared with the source: rows are immutable once appended, and Reset only
+// truncates the outer slices, so sharing is safe for the shard lifecycle.
+// One call per shard runs concurrently — each call reads r but writes only
+// its own dst.
+func (r *Relation) ScatterShard(dst *Relation, w, k int) {
+	kk, ww := uint64(k), uint64(w)
+	for _, row := range r.rows {
+		h := hashRow(row)
+		if h%kk != ww {
+			continue
+		}
+		if dst.findRowHash(h, row) < 0 {
+			dst.appendRow(row, nil, h)
+		}
+	}
+}
+
+// MergeFrom appends every row of src that r does not already hold, sharing
+// the inner row slices, and returns the number of rows added. It is the
+// serial round-barrier merge path of the parallel evaluator: src is a
+// per-worker output shard whose rows were freshly allocated by InsertRow, so
+// no copy is needed.
+func (r *Relation) MergeFrom(src *Relation) int {
+	added := 0
+	for _, row := range src.rows {
+		h := hashRow(row)
+		if r.findRowHash(h, row) < 0 {
+			r.appendRow(row, nil, h)
+			added++
+		}
+	}
+	return added
+}
+
 // InsertBulk appends the pre-validated, pre-interned tuples of one batch
 // group: ids holds the concatenated ID rows (Arity entries per atom, in atom
 // order) and atoms the matching ground atoms, whose argument slices become

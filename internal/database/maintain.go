@@ -74,7 +74,10 @@ func (r *Relation) RowPos(row []intern.ID) int {
 	return r.findRow(row)
 }
 
-// ContainsRow reports whether the relation holds the given ID row.
+// ContainsRow reports whether the relation holds the given ID row. It is a
+// read-only probe of the duplicate-detection table, safe concurrently with
+// other readers; parallel shard workers use it to drop already-known
+// derivations while the relation is frozen at a round barrier.
 func (r *Relation) ContainsRow(row []intern.ID) bool { return r.RowPos(row) >= 0 }
 
 // insertRowTuple records a row with its already-materialized term tuple,

@@ -1,6 +1,7 @@
 package depgraph
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/parser"
@@ -93,5 +94,73 @@ func TestNonRecursiveChainOfStrata(t *testing.T) {
 	if !(plan.PredComponent["a"] < plan.PredComponent["b"] && plan.PredComponent["b"] < plan.PredComponent["c"]) {
 		t.Errorf("order a=%d b=%d c=%d not topological",
 			plan.PredComponent["a"], plan.PredComponent["b"], plan.PredComponent["c"])
+	}
+}
+
+func TestPlanDependencyEdges(t *testing.T) {
+	// Diamond: b and c depend on a, d depends on b and c. b and c are
+	// independent of each other — the edge sets are what lets the parallel
+	// scheduler run them concurrently.
+	p := parser.MustParseProgram(`
+		a(X) :- base(X).
+		b(X) :- a(X), b1(X).
+		c(X) :- a(X), c1(X).
+		d(X) :- b(X), c(X).
+	`)
+	plan := Analyze(p)
+	if plan.Strata() != 4 {
+		t.Fatalf("strata = %d, want 4\n%s", plan.Strata(), plan)
+	}
+	ca := plan.PredComponent["a"]
+	cb := plan.PredComponent["b"]
+	cc := plan.PredComponent["c"]
+	cd := plan.PredComponent["d"]
+
+	wantDeps := make([][]int, 4)
+	wantDeps[ca] = nil
+	wantDeps[cb] = []int{ca}
+	wantDeps[cc] = []int{ca}
+	if cb < cc {
+		wantDeps[cd] = []int{cb, cc}
+	} else {
+		wantDeps[cd] = []int{cc, cb}
+	}
+	if !reflect.DeepEqual(plan.Deps, wantDeps) {
+		t.Errorf("Deps = %v, want %v", plan.Deps, wantDeps)
+	}
+
+	wantDependents := make([][]int, 4)
+	if cb < cc {
+		wantDependents[ca] = []int{cb, cc}
+	} else {
+		wantDependents[ca] = []int{cc, cb}
+	}
+	wantDependents[cb] = []int{cd}
+	wantDependents[cc] = []int{cd}
+	wantDependents[cd] = nil
+	if !reflect.DeepEqual(plan.Dependents, wantDependents) {
+		t.Errorf("Dependents = %v, want %v", plan.Dependents, wantDependents)
+	}
+
+	// Every dependency precedes its dependent in the topological component
+	// order, and intra-component occurrences never create edges.
+	for ci, deps := range plan.Deps {
+		for _, dep := range deps {
+			if dep >= ci {
+				t.Errorf("component %d lists dependency %d, not earlier in topological order", ci, dep)
+			}
+		}
+	}
+}
+
+func TestRecursiveComponentHasNoSelfEdge(t *testing.T) {
+	p := parser.MustParseProgram(`
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- par(X, Z), anc(Z, Y).
+	`)
+	plan := Analyze(p)
+	if len(plan.Deps[0]) != 0 || len(plan.Dependents[0]) != 0 {
+		t.Errorf("self-recursive component has edges: deps=%v dependents=%v",
+			plan.Deps[0], plan.Dependents[0])
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/ast"
@@ -61,11 +62,46 @@ type Options struct {
 	// relation holds enough tuples, instead of running the fixpoint to
 	// completion.
 	StopEarly func(store *database.Store) bool
+	// StopEarlyPred names the derived predicate StopEarly probes (the answer
+	// relation of a first-N query). The parallel evaluator uses it to keep
+	// StopEarly's between-rounds contract exact under concurrency: only the
+	// component that owns the predicate consults the callback at its round
+	// boundaries while other components are in flight (any component may once
+	// the owner is complete, and a predicate no component owns is frozen, so
+	// everyone may). Setting StopEarly without StopEarlyPred is still valid —
+	// the semi-naive evaluator then falls back to sequential execution, since
+	// it cannot tell which in-progress relations the callback reads.
+	StopEarlyPred string
+	// Parallelism is the number of workers the semi-naive evaluator may use:
+	// independent strongly connected components run concurrently, and large
+	// delta rounds within a recursive component are hash-partitioned across
+	// workers. 0 means GOMAXPROCS; 1 runs the exact sequential algorithm.
+	// The naive evaluator and the term-space reference evaluator are always
+	// sequential regardless of this setting. Parallel evaluation derives the
+	// same store as sequential evaluation; under MaxFacts/MaxDerivations the
+	// point at which the limit error surfaces may differ by a bounded
+	// overshoot (the limits are enforced globally at round barriers and every
+	// ctxCheckInterval firings).
+	Parallelism int
 	// forceTermSpace disables the compiled ID-space join pipelines and
 	// evaluates every rule with the substitution-based reference matcher.
 	// It exists for the differential tests that prove the compiled executor
 	// equivalent to the term-space one; production callers leave it false.
 	forceTermSpace bool
+}
+
+// parallelism resolves Options.Parallelism to a worker count.
+func (o Options) parallelism() int {
+	if o.forceTermSpace {
+		return 1
+	}
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // Stats records the work done by an evaluation. The fact and derivation
@@ -133,6 +169,16 @@ type Stats struct {
 	// before it reached a fixpoint: the store holds a sound but possibly
 	// incomplete set of derived facts.
 	StoppedEarly bool
+	// ParallelComponents is the number of components the parallel scheduler
+	// ran (0 when evaluation was sequential — Parallelism 1, a naive or
+	// term-space evaluation, or the sequential fallback for a StopEarly
+	// callback with no StopEarlyPred). WorkerRounds counts the per-shard
+	// round executions of hash-partitioned delta rounds: a partitioned round
+	// with K shards adds K, a non-partitioned round adds nothing, so the
+	// counter being positive is how callers observe that intra-round
+	// partitioning actually engaged.
+	ParallelComponents int
+	WorkerRounds       int64
 }
 
 // addFiring records a successful rule instantiation.
@@ -142,6 +188,37 @@ func (s *Stats) addFiring(rule int) {
 	}
 	s.RuleFirings[rule]++
 	s.Derivations++
+}
+
+// merge folds a per-worker Stats into the aggregate. Each parallel worker
+// (and each shard context of a partitioned round) counts into its own Stats
+// with the ordinary unsynchronized paths; the scheduler calls merge under its
+// own lock when the worker retires, so no counter is ever touched by two
+// goroutines at once. NewFacts is summed here because workers insert into
+// disjoint relations (per-component ownership) or private shards whose merge
+// adds its own count; FactsByPredicate is left to finish, which reads the
+// authoritative store.
+func (s *Stats) merge(w *Stats) {
+	s.Iterations += w.Iterations
+	s.Derivations += w.Derivations
+	s.NewFacts += w.NewFacts
+	s.JoinProbes += w.JoinProbes
+	for rule, n := range w.RuleFirings {
+		if s.RuleFirings == nil {
+			s.RuleFirings = make(map[int]int64)
+		}
+		s.RuleFirings[rule] += n
+	}
+	s.DeltaRuleEvals += w.DeltaRuleEvals
+	s.SkippedRuleEvals += w.SkippedRuleEvals
+	s.CompiledPlans += w.CompiledPlans
+	s.PlanOps += w.PlanOps
+	s.OpProbes += w.OpProbes
+	s.OpScans += w.OpScans
+	s.WorkerRounds += w.WorkerRounds
+	if w.StoppedEarly {
+		s.StoppedEarly = true
+	}
 }
 
 // String renders a short human-readable summary.
@@ -290,6 +367,37 @@ type evalContext struct {
 	// of the evaluation; finish reports the difference, since overlay base
 	// relations carry counters across evaluations.
 	baseProbes, baseHits int64
+	// par links a forked worker context back to the shared state of a
+	// parallel run (global limit counters, stop flag). nil in sequential
+	// evaluation and in the root context of a parallel one.
+	par *parRun
+	// flushedDerivations/flushedFacts are the portions of this context's
+	// local Derivations/NewFacts counters already published to the parallel
+	// run's global atomics by parRun.tick; the next flush publishes only the
+	// difference.
+	flushedDerivations int64
+	flushedFacts       int
+}
+
+// fork derives a worker context sharing the run's immutable machinery (store,
+// prepared program, reader — which self-refreshes per copy) but with private
+// pipeline scratch, private Stats, and a link to the parallel run's shared
+// state. Workers write only to relations their component owns (all relations
+// were pre-created by newContext, so the overlay map itself is read-only) or
+// to private shard stores, which is what makes the shared *database.Store
+// safe without locking.
+func (ctx *evalContext) fork(pr *parRun) *evalContext {
+	w := *ctx
+	w.bound = make(map[variantKey]*runPipe)
+	w.stats = &Stats{
+		Strategy:    ctx.stats.Strategy,
+		RuleFirings: make(map[int]int64),
+	}
+	w.extraStores = nil
+	w.par = pr
+	w.flushedDerivations = 0
+	w.flushedFacts = 0
+	return &w
 }
 
 func newContext(c context.Context, pp *Prepared, edb *database.Store, seeds []ast.Atom, opts Options, name string) (*evalContext, error) {
@@ -510,6 +618,33 @@ func (ctx *evalContext) fireRule(ruleIdx int, deltaPos int, delta *database.Stor
 	})
 }
 
+// fireRuleInto is the shard-local variant of fireRule used by partitioned
+// delta rounds: the rule fires with the body literal at deltaPos matched
+// against a private delta shard, and every derived row that the (frozen) main
+// relation does not already hold goes into the private out store — nothing
+// shared is written, so K shards run concurrently. ContainsRow moves the
+// duplicate filtering, which dominates the late rounds of a transitive
+// closure, into the parallel phase; the serial round barrier then only has to
+// merge the out shards into the main relation. Only the compiled-pipeline
+// path exists here: forceTermSpace evaluations never reach the parallel
+// evaluator.
+func (ctx *evalContext) fireRuleInto(ruleIdx, deltaPos int, delta, out *database.Store) error {
+	rp := ctx.pipelineFor(ruleIdx, deltaPos)
+	pl := rp.pl
+	main := ctx.store.Existing(pl.headKey)
+	outRel, err := out.Relation(pl.headKey, pl.headArity)
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	return pl.run(ctx, rp.sc, delta, func(row []intern.ID) error {
+		if main.ContainsRow(row) {
+			return nil
+		}
+		_, err := outRel.InsertRow(row)
+		return err
+	})
+}
+
 func (ctx *evalContext) checkFactLimit() error {
 	if ctx.opts.MaxFacts > 0 && ctx.stats.NewFacts > ctx.opts.MaxFacts {
 		return fmt.Errorf("%w: more than %d facts", ErrLimitExceeded, ctx.opts.MaxFacts)
@@ -537,9 +672,16 @@ func (ctx *evalContext) ctxErr() error {
 }
 
 // derivationTick is the per-N-derivation cancellation check, called on every
-// rule firing next to the MaxDerivations limit check.
+// rule firing next to the MaxDerivations limit check. In a parallel run it
+// additionally flushes the worker's local counters to the run's global limit
+// atomics and observes the cooperative stop flag.
 func (ctx *evalContext) derivationTick() error {
 	if ctx.stats.Derivations%ctxCheckInterval == 0 {
+		if ctx.par != nil {
+			if err := ctx.par.tick(ctx); err != nil {
+				return err
+			}
+		}
 		return ctx.ctxErr()
 	}
 	return nil
@@ -655,6 +797,15 @@ func (pp *Prepared) Evaluate(edb *database.Store, seeds []ast.Atom, opts Options
 // distinct from ErrLimitExceeded and returned together with the partially
 // computed store. Options.StopEarly is likewise consulted between rounds.
 func (pp *Prepared) EvaluateCtx(c context.Context, edb *database.Store, seeds []ast.Atom, opts Options) (*database.Store, *Stats, error) {
+	// Dispatch to the parallel scheduler when more than one worker is allowed
+	// and StopEarly's between-rounds contract can be kept exact (see
+	// Options.StopEarlyPred). P=1 — and the fallback — run the sequential
+	// code below unchanged.
+	if p := opts.parallelism(); p > 1 {
+		if opts.StopEarly == nil || opts.StopEarlyPred != "" {
+			return pp.evaluateParallel(c, edb, seeds, opts, p)
+		}
+	}
 	ctx, err := newContext(c, pp, edb, seeds, opts, "semi-naive")
 	if err != nil {
 		return nil, nil, err
