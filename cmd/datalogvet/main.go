@@ -1,0 +1,205 @@
+// Command datalogvet is the static-analysis front end for Datalog sources:
+// it parses each file, runs the full lint suite (internal/lint) and prints
+// structured diagnostics without ever evaluating anything.
+//
+// Usage:
+//
+//	datalogvet [-json] [-strict] [-info] [-query "anc(john, Y)"]... file.dl...
+//
+// Each file may contain rules, facts and ?- queries. Queries found in the
+// file (plus any -query flags) drive the query-relative passes: query
+// validity, reachability, and the Section 10 divergence prediction of
+// Beeri & Ramakrishnan (Theorem 10.3). When a file contains no queries,
+// the divergence analysis runs over the canonical bound-first form of
+// every derived predicate, so a library of rules is vetted against the
+// query shapes it will plausibly be asked.
+//
+// Diagnostics print one per line as
+//
+//	file.dl:3:7: warning: singleton variable Z in rule for path [DL0005]
+//
+// with related positions indented beneath as notes. -json emits the same
+// findings as a JSON array for tooling. Info-level findings (e.g. DL0004,
+// a predicate assumed to be a base relation) are suppressed unless -info
+// is given.
+//
+// Exit status: 0 when no diagnostics survive filtering, 1 when any
+// error-severity diagnostic was found (or any warning under -strict), and
+// 2 on usage or I/O problems.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lint"
+	"repro/internal/parser"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datalogvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// queryFlags collects repeated -query flags.
+type queryFlags []string
+
+func (q *queryFlags) String() string { return strings.Join(*q, ", ") }
+
+func (q *queryFlags) Set(v string) error {
+	*q = append(*q, v)
+	return nil
+}
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string        `json:"file"`
+	Code     string        `json:"code"`
+	Severity string        `json:"severity"`
+	Line     int           `json:"line,omitempty"`
+	Col      int           `json:"col,omitempty"`
+	Message  string        `json:"message"`
+	Related  []jsonRelated `json:"related,omitempty"`
+}
+
+type jsonRelated struct {
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+	Message string `json:"message"`
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("datalogvet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	strict := fs.Bool("strict", false, "exit non-zero on warnings, not only errors")
+	showInfo := fs.Bool("info", false, "also report info-level diagnostics")
+	var queries queryFlags
+	fs.Var(&queries, "query", "additional query form to vet against (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fs.Usage()
+		return 0, fmt.Errorf("at least one source file is required")
+	}
+
+	extra, err := parseQueryFlags(queries)
+	if err != nil {
+		return 0, err
+	}
+
+	var all []jsonDiagnostic
+	worst := lint.Info
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return 0, err
+		}
+		diags := vetSource(string(src), extra)
+		for _, d := range diags {
+			if d.Severity == lint.Info && !*showInfo {
+				continue
+			}
+			if d.Severity > worst {
+				worst = d.Severity
+			}
+			if *jsonOut {
+				all = append(all, toJSON(path, d))
+			} else {
+				printDiagnostic(out, path, d)
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonDiagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			return 0, err
+		}
+	}
+
+	if worst >= lint.Error || (*strict && worst >= lint.Warning) {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// parseQueryFlags parses each -query argument as a single query atom.
+func parseQueryFlags(queries queryFlags) ([]ast.Query, error) {
+	var out []ast.Query
+	for _, src := range queries {
+		q, err := parser.ParseQuery(src)
+		if err != nil {
+			return nil, fmt.Errorf("-query %q: %w", src, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// vetSource parses and lints one source text. Parse errors come back as a
+// single DL0001 diagnostic, so callers see one uniform stream.
+func vetSource(src string, extra []ast.Query) []lint.Diagnostic {
+	unit, err := parser.Parse(src)
+	if err != nil {
+		d := lint.Diagnostic{Code: lint.CodeParse, Severity: lint.Error, Message: err.Error()}
+		var perr *parser.Error
+		if errors.As(err, &perr) {
+			d.Pos = perr.Pos
+			d.Message = perr.Msg
+		}
+		return []lint.Diagnostic{d}
+	}
+	return lint.Check(unit.Program(), lint.Options{
+		Queries:        append(append([]ast.Query(nil), unit.Queries...), extra...),
+		Facts:          unit.Facts,
+		AutoQueryForms: true,
+	})
+}
+
+// printDiagnostic renders one finding in the conventional compiler format,
+// related positions indented beneath as notes.
+func printDiagnostic(out io.Writer, path string, d lint.Diagnostic) {
+	fmt.Fprintf(out, "%s: %s: %s [%s]\n", prefix(path, d.Pos), d.Severity, d.Message, d.Code)
+	for _, r := range d.Related {
+		fmt.Fprintf(out, "\t%s: note: %s\n", prefix(path, r.Pos), r.Message)
+	}
+}
+
+// prefix renders "file:line:col", or just "file" when the position is
+// unknown.
+func prefix(path string, pos ast.Pos) string {
+	if !pos.IsValid() {
+		return path
+	}
+	return fmt.Sprintf("%s:%s", path, pos)
+}
+
+func toJSON(path string, d lint.Diagnostic) jsonDiagnostic {
+	jd := jsonDiagnostic{
+		File:     path,
+		Code:     d.Code,
+		Severity: d.Severity.String(),
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Col,
+		Message:  d.Message,
+	}
+	for _, r := range d.Related {
+		jd.Related = append(jd.Related, jsonRelated{Line: r.Pos.Line, Col: r.Pos.Col, Message: r.Message})
+	}
+	return jd
+}

@@ -8,6 +8,7 @@
 //	          [-show-rewrite] [-show-safety] [-stats] \
 //	          [-max-iterations N] [-max-facts N] [-max-derivations N] \
 //	          [-repeat N] [-timeout D] [-first-n N] [-parallelism N] [-stream]
+//	          [-vet] [-vet-only]
 //
 // The program file contains rules (and optionally facts); the facts file
 // contains ground facts only and is loaded in a single transaction — a
@@ -90,6 +91,8 @@ func run(args []string, out io.Writer) error {
 	firstN := fs.Int("first-n", 0, "stop the evaluation once N answers exist (0 = all answers)")
 	parallelism := fs.Int("parallelism", 0, "worker count for the bottom-up fixpoint (0 = GOMAXPROCS, 1 = sequential)")
 	stream := fs.Bool("stream", false, "consume the answers through the streaming cursor")
+	vet := fs.Bool("vet", false, "print the static-analysis diagnostics for the program and query before evaluating")
+	vetOnly := fs.Bool("vet-only", false, "print the diagnostics and exit without evaluating (implies -vet); non-zero exit when any are found")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +131,34 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		loadTime = time.Since(start)
+	}
+
+	// -vet surfaces the compile-time analysis before anything is evaluated:
+	// the program's retained diagnostics (warnings and infos; error-level
+	// findings already failed NewEngine above) plus the query-relative
+	// passes for the form actually being asked. Positions in the program
+	// diagnostics refer to the -program file; query diagnostics are
+	// reported against the query text.
+	if *vet || *vetOnly {
+		prog := eng.Program()
+		diags := prog.Diagnostics()
+		qdiags, err := prog.DiagnosticsFor(*query)
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s:%s: %s: %s [%s]\n", *programPath, d.Position, d.Severity, d.Message, d.Code)
+		}
+		for _, d := range qdiags {
+			fmt.Fprintf(out, "query %s: %s: %s [%s]\n", *query, d.Severity, d.Message, d.Code)
+		}
+		if *vetOnly {
+			if len(diags)+len(qdiags) > 0 {
+				return fmt.Errorf("vet found %d diagnostic(s)", len(diags)+len(qdiags))
+			}
+			fmt.Fprintf(out, "%% vet: no diagnostics for %s with %s\n", *programPath, *query)
+			return nil
+		}
 	}
 
 	strat, err := datalog.ParseStrategy(*strategy)

@@ -128,3 +128,54 @@ func TestRunParallelismFlag(t *testing.T) {
 		t.Errorf("sequential run must not report parallel statistics:\n%s", seq.String())
 	}
 }
+
+func TestRunVetFlag(t *testing.T) {
+	dir := t.TempDir()
+	// Nonlinear ancestor: the Section 10 divergence example plus a
+	// deliberate singleton, so both program- and query-relative
+	// diagnostics fire.
+	prog := writeFile(t, dir, "nl.dl", `a(X, Y) :- p(X, Y).
+a(X, Y) :- a(X, Z), a(Z, Y).
+junk(X) :- p(X, W).
+p(f, g).
+`)
+
+	// -vet prints the diagnostics, then the evaluation still runs.
+	var out bytes.Buffer
+	err := run([]string{"-program", prog, "-query", "a(f, Y)", "-strategy", "magic", "-vet"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"DL0005", "DL0012", "Theorem 10.3", "answer(s)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-vet output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, prog+":") {
+		t.Errorf("-vet diagnostics do not carry the program path:\n%s", text)
+	}
+
+	// -vet-only exits non-zero when diagnostics exist and never evaluates.
+	out.Reset()
+	err = run([]string{"-program", prog, "-query", "a(f, Y)", "-vet-only"}, &out)
+	if err == nil {
+		t.Fatal("-vet-only with findings returned nil")
+	}
+	if strings.Contains(out.String(), "answer(s)") {
+		t.Errorf("-vet-only evaluated the query:\n%s", out.String())
+	}
+
+	// A clean program under -vet-only succeeds and says so.
+	clean := writeFile(t, dir, "lin.dl", `anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+par(a, b).
+`)
+	out.Reset()
+	if err := run([]string{"-program", clean, "-query", "anc(a, Y)", "-vet-only"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no diagnostics") {
+		t.Errorf("clean -vet-only output:\n%s", out.String())
+	}
+}

@@ -69,6 +69,36 @@
 // supplementary counting rewritings, with full or partial left-to-right sips
 // and the optional semijoin optimization of the counting methods.
 //
+// # Static analysis: diagnostics and divergence prediction
+//
+// Compile runs the full static-analysis suite (internal/lint) over the
+// program: error-level findings — arity conflicts, negated literals,
+// unstratifiable negation — fail the compile with their source positions in
+// the message, while warnings and infos (typo'd predicates, singleton
+// variables, range-restriction and connectivity violations, and the
+// Section 10 analyses) are retained on the Program:
+//
+//	prog, _ := datalog.Compile(src)
+//	for _, d := range prog.Diagnostics() { fmt.Println(d) }
+//	// e.g. 3:13: warning: predicate pth/2 is not defined ... [DL0003]
+//
+// Each Diagnostic carries a stable code (DL0001–DL0013), a severity, a
+// line:col position and related positions (the other site of an arity
+// conflict, the recursive rule on a divergence cycle). CompileStrict
+// refuses programs with any warning, and Program.DiagnosticsFor vets one
+// query form against the program — in particular running the Theorem 10.3
+// divergence prediction: a reachable cycle in the argument graph of the
+// adorned form proves the counting strategies diverge on every database.
+// The engine consults the same prediction at preparation time; by default
+// (Options.OnDivergence == DivergenceFallback) a counting query whose form
+// is statically divergent transparently evaluates the equivalent magic
+// rewriting instead — the answers are identical by the paper's equivalence
+// theorems — and reports it in Stats.DivergenceFallback. DivergenceFail
+// turns the prediction into an ErrCountingDiverges error, and DivergenceRun
+// restores the old run-anyway behavior (observable only under Options
+// limits or a context deadline). cmd/datalogvet surfaces the same
+// diagnostics as a standalone linter with human and JSON output.
+//
 // # Prepare once, run many, stream what you need
 //
 // The rewriting depends only on the query *form* — the predicate and its
@@ -311,11 +341,41 @@ type Options struct {
 	// sequentially. Like the Max limits it is a run-time option: it does not
 	// change the prepared query form.
 	Parallelism int
+	// OnDivergence selects what the engine does when a counting strategy is
+	// requested for a query form the Section 10 analysis proves divergent on
+	// every database (Theorem 10.3; see Program.DiagnosticsFor). The zero
+	// value is DivergenceFallback. It shapes the prepared form, so forms
+	// prepared under different policies do not share a preparation.
+	OnDivergence DivergencePolicy
 }
+
+// DivergencePolicy is the Options.OnDivergence setting: how a query path
+// reacts when the requested counting strategy is statically divergent.
+type DivergencePolicy string
+
+const (
+	// DivergenceFallback (the default) transparently evaluates the
+	// equivalent magic-sets rewriting instead — same answers (the
+	// equivalence theorems of Sections 5 and 7), guaranteed termination on
+	// Datalog (Theorem 10.2) — and sets Stats.DivergenceFallback.
+	DivergenceFallback DivergencePolicy = "fallback"
+	// DivergenceFail fails the query/prepare fast with ErrCountingDiverges
+	// instead of evaluating anything.
+	DivergenceFail DivergencePolicy = "fail"
+	// DivergenceRun runs the requested counting strategy anyway; the
+	// evaluation will not terminate unless bounded by MaxIterations,
+	// MaxFacts, MaxDerivations, FirstN or a context deadline.
+	DivergenceRun DivergencePolicy = "run"
+)
 
 // ErrLimitExceeded is returned (wrapped) when evaluation exceeds a limit set
 // in Options before completing.
 var ErrLimitExceeded = errors.New("datalog: evaluation limit exceeded")
+
+// ErrCountingDiverges is returned (wrapped) when a counting strategy is
+// requested under Options{OnDivergence: DivergenceFail} for a query form the
+// static analysis proves divergent on every database (Theorem 10.3).
+var ErrCountingDiverges = errors.New("datalog: counting strategy statically divergent")
 
 // Answer is a single answer to a query: the values of the query's free
 // variables, in the order those variables appear in the query.
@@ -408,6 +468,12 @@ type Stats struct {
 	// threshold even though components may still have run concurrently.
 	ParallelComponents int
 	WorkerRounds       int64
+	// DivergenceFallback reports that a counting strategy was requested but
+	// the Section 10 analysis proved the form divergent on every database,
+	// so the engine evaluated the equivalent magic rewriting instead
+	// (Options.OnDivergence = DivergenceFallback, the default). Strategy
+	// still echoes the requested counting strategy.
+	DivergenceFallback bool
 }
 
 // TotalFacts returns DerivedFacts + AuxFacts.

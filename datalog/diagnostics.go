@@ -1,0 +1,175 @@
+// Diagnostics: the public face of the static-analysis layer.
+//
+// Compile runs the internal/lint passes over every program and keeps the
+// findings on the Program; nothing about the compile signature changes, but
+// Program.Diagnostics exposes what the analysis saw, CompileStrict promotes
+// warnings to compile failures, and Program.DiagnosticsFor vets one query
+// form (reachability plus the Section 10 divergence prediction) — the hook
+// a serving layer uses to gate program uploads and query admission.
+
+package datalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/parser"
+)
+
+// Severity classifies a Diagnostic. The values render (and marshal) as the
+// conventional lower-case severity names.
+type Severity string
+
+const (
+	// SeverityInfo marks observations that never fail a compile, e.g. a
+	// predicate assumed to be a base relation.
+	SeverityInfo Severity = "info"
+	// SeverityWarning marks probable mistakes and statically unsafe
+	// constructs the engine can still evaluate; CompileStrict rejects them.
+	SeverityWarning Severity = "warning"
+	// SeverityError marks programs the engine cannot run; Compile rejects
+	// them.
+	SeverityError Severity = "error"
+)
+
+// rank orders severities for comparisons.
+func (s Severity) rank() int {
+	switch s {
+	case SeverityError:
+		return 2
+	case SeverityWarning:
+		return 1
+	}
+	return 0
+}
+
+// Position is a 1-based source position; the zero Position means the
+// diagnostic has no anchor in source text (programmatically built queries).
+type Position struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// String renders "line:col", or "-" for the zero Position.
+func (p Position) String() string {
+	if p.Line <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// RelatedInformation is a secondary position attached to a Diagnostic — the
+// first site of an arity conflict, the recursive rule on a divergence cycle.
+type RelatedInformation struct {
+	Position Position `json:"position"`
+	Message  string   `json:"message"`
+}
+
+// Diagnostic is one finding of the compile-time analysis. Code is stable
+// across releases (DL0001...; see cmd/datalogvet's README for the table), so
+// tooling can match on it.
+type Diagnostic struct {
+	Code     string               `json:"code"`
+	Severity Severity             `json:"severity"`
+	Position Position             `json:"position"`
+	Message  string               `json:"message"`
+	Related  []RelatedInformation `json:"related,omitempty"`
+}
+
+// String renders "line:col: severity: message [CODE]".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Position, d.Severity, d.Message, d.Code)
+}
+
+// publicDiagnostics converts the internal lint findings to the public type.
+func publicDiagnostics(diags []lint.Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return nil
+	}
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		pd := Diagnostic{
+			Code:     d.Code,
+			Severity: publicSeverity(d.Severity),
+			Position: Position{Line: d.Pos.Line, Col: d.Pos.Col},
+			Message:  d.Message,
+		}
+		for _, r := range d.Related {
+			pd.Related = append(pd.Related, RelatedInformation{
+				Position: Position{Line: r.Pos.Line, Col: r.Pos.Col},
+				Message:  r.Message,
+			})
+		}
+		out[i] = pd
+	}
+	return out
+}
+
+func publicSeverity(s lint.Severity) Severity {
+	switch s {
+	case lint.Error:
+		return SeverityError
+	case lint.Warning:
+		return SeverityWarning
+	}
+	return SeverityInfo
+}
+
+// Diagnostics returns the findings of the compile-time analysis passes over
+// the program: hygiene issues (typo'd predicates, singleton variables,
+// range-restriction violations) and the Section 10 safety analysis run over
+// the canonical bound-first query form of every derived predicate — in
+// particular, a Theorem 10.3 warning (code DL0012) when the counting
+// strategies provably diverge on every database. Errors never appear here
+// (Compile fails on them); use DiagnosticsFor to vet a concrete query form.
+// The returned slice is a copy.
+func (p *Program) Diagnostics() []Diagnostic {
+	return append([]Diagnostic(nil), p.diags...)
+}
+
+// DiagnosticsFor vets one query form against the program: query validity,
+// rules unreachable from the form, and the Section 10 analyses (Theorem
+// 10.3 counting divergence, Theorem 10.1/10.2 magic termination) for the
+// form's exact binding pattern. A serving layer can call this at
+// prepare/admission time and refuse forms with error diagnostics (or, per
+// policy, warnings).
+func (p *Program) DiagnosticsFor(querySrc string) ([]Diagnostic, error) {
+	q, err := parser.ParseQuery(querySrc)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	return publicDiagnostics(lint.QueryCheck(p.prog, q)), nil
+}
+
+// CompileStrict is Compile with warnings promoted to failures: any
+// diagnostic of severity warning or error fails the compile, with every
+// finding in the error message. Info diagnostics (assumed base relations)
+// do not fail a strict compile. Use it where a program is untrusted input —
+// upload gates, CI — and plain Compile where warnings are surfaced some
+// other way.
+func CompileStrict(programSrc string) (*Program, error) {
+	prog, err := Compile(programSrc)
+	if err != nil {
+		return nil, err
+	}
+	var bad []Diagnostic
+	for _, d := range prog.diags {
+		if d.Severity.rank() >= SeverityWarning.rank() {
+			bad = append(bad, d)
+		}
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("datalog: strict compile failed:\n%s", renderDiagnostics(bad))
+	}
+	return prog, nil
+}
+
+// renderDiagnostics renders diagnostics one per line, for error messages.
+func renderDiagnostics(diags []Diagnostic) string {
+	lines := make([]string, len(diags))
+	for i, d := range diags {
+		lines[i] = "  " + d.String()
+	}
+	return strings.Join(lines, "\n")
+}

@@ -140,3 +140,31 @@ func ExampleDatabase_Materialize() {
 	// after retract: true [(mary)]
 	// maintained predicates: 1 runs: 2 registered: true
 }
+
+// Compile retains the static-analysis findings on the Program: warnings
+// (typos, singleton variables, the Section 10 divergence prediction) ride
+// along with positions and stable codes, and DiagnosticsFor vets one query
+// form. CompileStrict turns any warning into a compile error.
+func ExampleProgram_Diagnostics() {
+	prog, err := datalog.Compile(`a(X, Y) :- p(X, Y).
+a(X, Y) :- a(X, Z), a(Z, Y).`)
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range prog.Diagnostics() {
+		fmt.Println(d)
+	}
+	// The bound-first query form of the nonlinear rule diverges under the
+	// counting strategies on every database (Theorem 10.3).
+	diags, err := prog.DiagnosticsFor("a(c, Y)")
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d.Code, d.Severity)
+	}
+	// Output:
+	// 1:12: info: predicate p/2 has no rules and no facts; assuming it is a base (EDB) relation [DL0004]
+	// 2:1: warning: counting strategies diverge for query form a^bf on every database: the argument graph has a reachable cycle (Theorem 10.3); bound argument 1 of a^bf feeds back into itself through this recursive rule [DL0012]
+	// DL0012 warning
+}

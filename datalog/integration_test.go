@@ -122,7 +122,10 @@ func checkAgreement(t *testing.T, eng *datalog.Engine, query string, skip map[da
 		if skip[opts.Strategy] {
 			// Divergent strategy on this workload: bound both the iteration
 			// count and the fact count so the run stays cheap, and require
-			// the limit to trip.
+			// the limit to trip. DivergenceRun forces the divergent counting
+			// evaluation where the static analysis would otherwise fall back
+			// to the magic rewriting (Options.OnDivergence default).
+			opts.OnDivergence = datalog.DivergenceRun
 			opts.MaxIterations = 25
 			opts.MaxFacts = 20000
 			_, err := eng.Query(query, opts)

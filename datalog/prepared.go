@@ -44,6 +44,11 @@ type preparedForm struct {
 	// predicates), precomputed so Run does not re-walk the program.
 	derivedKeys []string
 	auxKeys     []string
+	// divergenceFallback records that a counting strategy was requested but
+	// the form was prepared with the equivalent magic rewriting because the
+	// Theorem 10.3 analysis proved counting divergent (see
+	// Options.OnDivergence); surfaced as Stats.DivergenceFallback.
+	divergenceFallback bool
 }
 
 // PreparedQuery is a query form compiled once for repeated evaluation: the
@@ -113,6 +118,9 @@ func normalizeOptions(opts *Options) {
 	}
 	if opts.Sip == "" {
 		opts.Sip = SipFull
+	}
+	if opts.OnDivergence == "" {
+		opts.OnDivergence = DivergenceFallback
 	}
 }
 
@@ -261,6 +269,14 @@ func formKey(q ast.Query, opts Options) string {
 	}
 	if opts.Simplify {
 		b.WriteByte('s')
+	}
+	if opts.Strategy == Counting || opts.Strategy == SupplementaryCounting {
+		// The divergence policy changes what gets prepared for the counting
+		// strategies (fallback swaps in the magic rewriting); other
+		// strategies ignore it, and including it there would only split
+		// their caches.
+		b.WriteByte('|')
+		b.WriteString(string(opts.OnDivergence))
 	}
 	b.WriteByte('|')
 	b.WriteString(q.Atom.Pred)
@@ -452,6 +468,7 @@ func stopAfterN(n int, predKey string, pattern ast.Atom) func(*database.Store) b
 func (pq *PreparedQuery) stampStats(res *Result, cacheHit bool, withSip bool) {
 	res.Stats.Strategy = pq.opts.Strategy
 	res.Stats.PlanCacheHit = cacheHit
+	res.Stats.DivergenceFallback = pq.form.divergenceFallback
 	if withSip {
 		res.Stats.Sip = pq.opts.Sip
 		if res.Stats.Sip == "" {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/eval"
 	"repro/internal/intern"
+	"repro/internal/lint"
 	"repro/internal/parser"
 	"repro/internal/rewrite"
 	"repro/internal/safety"
@@ -47,6 +48,9 @@ type Program struct {
 	// SetProgram in particular never touches the data.
 	facts   []ast.Atom
 	arities map[string]int
+	// diags are the compile-time analysis findings (warnings and infos; a
+	// program with error diagnostics does not compile). See Diagnostics.
+	diags []Diagnostic
 	// plan is the SCC stratification of the (unrewritten) program, computed
 	// once here and reused by every direct-strategy preparation.
 	plan *depgraph.Plan
@@ -70,24 +74,47 @@ type Program struct {
 // retains; see Program.plans.
 const maxProgramTables = 16
 
-// Compile parses, arity-checks and stratifies a rule program once and
-// returns the immutable compiled form. The source may contain ground facts
+// Compile parses, analyzes and stratifies a rule program once and returns
+// the immutable compiled form. The source may contain ground facts
 // (NewEngine loads them; see Program); it must not contain queries — those
 // are passed per call to Query/Prepare, which is exactly the program/query
-// split the magic transformations rely on. The returned Program is safe for
-// concurrent use and sharing; pair it with a Database via NewEngineWith, or
-// hot-swap it into a live engine with SetProgram.
+// split the magic transformations rely on. Compile runs the full
+// static-analysis suite (internal/lint): diagnostics of severity error —
+// arity conflicts, negated literals, unstratifiable negation — fail the
+// compile with their source positions in the message; warnings and infos
+// are retained on the Program (see Diagnostics, CompileStrict). The
+// returned Program is safe for concurrent use and sharing; pair it with a
+// Database via NewEngineWith, or hot-swap it into a live engine with
+// SetProgram.
 func Compile(programSrc string) (*Program, error) {
 	unit, err := parser.Parse(programSrc)
 	if err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
 	if len(unit.Queries) > 0 {
-		return nil, fmt.Errorf("datalog: the program text contains a query; pass queries to Query instead")
+		q := unit.Queries[0].Atom
+		return nil, fmt.Errorf("datalog: %d:%d: the program text contains a query; pass queries to Query instead", q.Pos.Line, q.Pos.Col)
 	}
 	prog := unit.Program()
+	diags := publicDiagnostics(lint.Check(prog, lint.Options{
+		Facts:          unit.Facts,
+		AutoQueryForms: true,
+	}))
+	var fatal []Diagnostic
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			fatal = append(fatal, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	if len(fatal) > 0 {
+		return nil, fmt.Errorf("datalog: compile failed:\n%s", renderDiagnostics(fatal))
+	}
 	arities, err := prog.Arities()
 	if err != nil {
+		// Unreachable in practice: arity conflicts are error diagnostics.
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
 	return &Program{
@@ -95,6 +122,7 @@ func Compile(programSrc string) (*Program, error) {
 		prog:    prog,
 		facts:   unit.Facts,
 		arities: arities,
+		diags:   kept,
 		plan:    depgraph.Analyze(prog),
 		plans:   make(map[*intern.Table]*planCache),
 	}, nil
@@ -190,11 +218,35 @@ func (p *Program) buildForm(q ast.Query, opts Options, tab *intern.Table) (*prep
 		form.adorned = ad
 		form.safety = publicSafety(safety.Analyze(ad))
 	case MagicSets, SupplementaryMagicSets, Counting, SupplementaryCounting:
-		rw, err := rewriter(opts)
+		ad, err := p.adorn(q, opts)
 		if err != nil {
 			return nil, err
 		}
-		ad, err := p.adorn(q, opts)
+		form.safety = publicSafety(safety.Analyze(ad))
+		// The divergence consultation of Section 10: when Theorem 10.3
+		// proves the counting strategies diverge for this form on every
+		// database, don't run them — fall back to the equivalent magic
+		// rewriting (the answers are identical by Theorems 5.1/7.1) or fail
+		// fast, per Options.OnDivergence.
+		if (opts.Strategy == Counting || opts.Strategy == SupplementaryCounting) &&
+			form.safety.CountingDivergesOnAllData {
+			switch opts.OnDivergence {
+			case DivergenceRun:
+				// The caller explicitly asked for the divergent evaluation
+				// (observable only under limits or a deadline).
+			case DivergenceFail:
+				return nil, fmt.Errorf("%w: query form %s^%s diverges under %s on every database (Theorem 10.3)",
+					ErrCountingDiverges, q.Atom.Pred, ad.QueryAdornment, opts.Strategy)
+			default: // DivergenceFallback
+				form.divergenceFallback = true
+				if opts.Strategy == Counting {
+					opts.Strategy = MagicSets
+				} else {
+					opts.Strategy = SupplementaryMagicSets
+				}
+			}
+		}
+		rw, err := rewriter(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +264,6 @@ func (p *Program) buildForm(q ast.Query, opts Options, tab *intern.Table) (*prep
 		form.adorned = ad
 		form.rewriting = rewriting
 		form.prepared = pp
-		form.safety = publicSafety(safety.Analyze(ad))
 		form.rewrittenSrc = rewriting.Program.String()
 		form.rewrittenRules = len(rewriting.Program.Rules)
 		for key := range rewriting.Program.DerivedPredicates() {

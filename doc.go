@@ -6,10 +6,12 @@
 // semijoin optimization) evaluated bottom-up.
 //
 // The public API lives in package repro/datalog; the command-line tools are
-// cmd/magicsets (rewrite and evaluate a query), cmd/benchtables (regenerate
-// every experiment documented in EXPERIMENTS.md) and cmd/benchjson (archive
-// benchmark runs as JSON, see `make bench-json`). The root package itself
-// holds only the repository-level benchmarks in bench_test.go.
+// cmd/magicsets (rewrite and evaluate a query), cmd/datalogvet (the static
+// analyzer: lint a program without evaluating it), cmd/benchtables
+// (regenerate every experiment documented in EXPERIMENTS.md) and
+// cmd/benchjson (archive benchmark runs as JSON, see `make bench-json`).
+// The root package itself holds only the repository-level benchmarks in
+// bench_test.go.
 //
 // Bottom-up evaluation compiles every rule into a join pipeline executed
 // over interned constant IDs (internal/eval/plan.go, compile.go): no
@@ -42,6 +44,20 @@
 // cost is proportional to the batch's consequences, not the database (see
 // EXPERIMENTS.md). ARCHITECTURE.md is the map of how all of this fits
 // together, stage by stage and package by package.
+//
+// Compilation is also the static-analysis gate: every source position
+// survives parsing (internal/parser reports line:col on every error), and
+// internal/lint runs a suite of passes over the parsed program — hygiene
+// (typo'd predicates, singleton variables, arity conflicts, the paper's
+// well-formedness and connectivity conditions) and the Section 10 analyses,
+// most notably the Theorem 10.3 prediction that the counting strategies
+// diverge for a query form on every database. Error findings fail
+// datalog.Compile with positions; warnings ride on the Program
+// (Program.Diagnostics, CompileStrict), the engine transparently swaps a
+// statically divergent counting form for its equivalent magic rewriting
+// (Options.OnDivergence, Stats.DivergenceFallback), and cmd/datalogvet
+// surfaces the same diagnostics as a standalone linter with stable DLnnnn
+// codes, human and JSON output.
 //
 // Query forms (predicate + binding pattern + strategy + sip) are adorned,
 // rewritten and compiled once — explicitly via Engine.Prepare /

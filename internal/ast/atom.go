@@ -88,6 +88,18 @@ type Atom struct {
 	Adorn Adornment
 	// Args are the argument terms.
 	Args []Term
+	// Negated marks a negative body literal (!p(X)). Negation is parsed and
+	// carried through the AST so the lint layer can check stratifiability,
+	// but the evaluation pipeline does not accept it yet (ROADMAP item 6);
+	// datalog.Compile rejects programs containing negated literals.
+	Negated bool
+	// Pos is the source position of the predicate name, or the zero Pos for
+	// atoms built programmatically.
+	Pos Pos
+	// ArgPos holds the source position of each top-level argument (parallel
+	// to Args; variables nested inside a compound argument share the
+	// argument's position). Nil for programmatically built atoms.
+	ArgPos []Pos
 }
 
 // NewAtom builds an unadorned atom.
@@ -117,6 +129,9 @@ func (a Atom) Arity() int { return len(a.Args) }
 // superscript-style suffix (e.g. sg^bf(X, Y)).
 func (a Atom) String() string {
 	name := a.Pred
+	if a.Negated {
+		name = "!" + name
+	}
 	if a.Adorn != "" {
 		name += "^" + string(a.Adorn)
 	}
@@ -132,7 +147,7 @@ func (a Atom) String() string {
 
 // EqualAtoms reports whether two atoms are syntactically identical.
 func EqualAtoms(a, b Atom) bool {
-	if a.Pred != b.Pred || a.Adorn != b.Adorn || len(a.Args) != len(b.Args) {
+	if a.Pred != b.Pred || a.Adorn != b.Adorn || a.Negated != b.Negated || len(a.Args) != len(b.Args) {
 		return false
 	}
 	for i := range a.Args {
@@ -175,6 +190,9 @@ func AtomVarSet(a Atom) map[string]bool {
 // use as a map key (predicate identity plus the encoding of each argument).
 func AtomKey(a Atom) string {
 	var b strings.Builder
+	if a.Negated {
+		b.WriteByte('!')
+	}
 	b.WriteString(a.PredKey())
 	b.WriteByte('/')
 	fmt.Fprintf(&b, "%d", len(a.Args))
@@ -210,12 +228,15 @@ func (a Atom) FreeArgs() []Term {
 }
 
 // RenameAtom applies the variable renaming to every argument of the atom.
+// Positions and polarity are preserved: renaming does not move source text.
 func RenameAtom(a Atom, rename map[string]string) Atom {
 	args := make([]Term, len(a.Args))
 	for i, t := range a.Args {
 		args[i] = renameTerm(t, rename)
 	}
-	return Atom{Pred: a.Pred, Adorn: a.Adorn, Args: args}
+	out := a
+	out.Args = args
+	return out
 }
 
 func renameTerm(t Term, rename map[string]string) Term {

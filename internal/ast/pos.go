@@ -1,0 +1,26 @@
+package ast
+
+import "fmt"
+
+// Pos is a source position: 1-based line and column of the first rune of a
+// syntactic element. The zero Pos means "position unknown" — atoms and rules
+// built programmatically (rewriter output, tests) carry no position, while
+// everything produced by the parser does. Positions ride along through
+// cloning, renaming and adornment, so a diagnostic about an adorned or
+// rewritten occurrence can still point at the source text it came from.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position is known (parser-produced).
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col", the conventional compiler
+// diagnostic prefix. The zero position renders as "-".
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}

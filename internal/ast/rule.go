@@ -11,6 +11,9 @@ import (
 type Rule struct {
 	Head Atom
 	Body []Atom
+	// Pos is the source position of the rule (its head atom), or the zero
+	// Pos for rules built programmatically.
+	Pos Pos
 }
 
 // NewRule builds a rule from a head atom and body atoms.
@@ -61,15 +64,18 @@ func (r Rule) BodyVars() map[string]bool {
 // the caller may append or reorder without affecting the original. Terms are
 // shared (they are immutable by convention).
 func (r Rule) Clone() Rule {
+	cloneAtom := func(a Atom) Atom {
+		args := make([]Term, len(a.Args))
+		copy(args, a.Args)
+		out := a
+		out.Args = args
+		return out
+	}
 	body := make([]Atom, len(r.Body))
 	for i, b := range r.Body {
-		args := make([]Term, len(b.Args))
-		copy(args, b.Args)
-		body[i] = Atom{Pred: b.Pred, Adorn: b.Adorn, Args: args}
+		body[i] = cloneAtom(b)
 	}
-	hargs := make([]Term, len(r.Head.Args))
-	copy(hargs, r.Head.Args)
-	return Rule{Head: Atom{Pred: r.Head.Pred, Adorn: r.Head.Adorn, Args: hargs}, Body: body}
+	return Rule{Head: cloneAtom(r.Head), Body: body, Pos: r.Pos}
 }
 
 // CheckWellFormed verifies condition (WF) of Section 1.1: every variable that

@@ -1,0 +1,31 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Error is a lex or parse error carrying the source position it refers to.
+// Every error produced by this package that points at source text is an
+// *Error, so callers (the lint layer, cmd/datalogvet) can recover the
+// position structurally with errors.As instead of scraping the message.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+// Error renders the conventional "line:col: message" form.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// errAt builds a positioned error from explicit coordinates.
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Pos: ast.Pos{Line: line, Col: col}, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errTok builds a positioned error pointing at a token.
+func errTok(t token, format string, args ...any) *Error {
+	return errAt(t.line, t.col, format, args...)
+}

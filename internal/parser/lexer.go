@@ -18,7 +18,6 @@
 package parser
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -40,6 +39,7 @@ const (
 	tokDot                // .
 	tokImplies            // :-
 	tokQuery              // ?-
+	tokBang               // !
 )
 
 func (k tokenKind) String() string {
@@ -70,6 +70,8 @@ func (k tokenKind) String() string {
 		return "':-'"
 	case tokQuery:
 		return "'?-'"
+	case tokBang:
+		return "'!'"
 	}
 	return "unknown token"
 }
@@ -95,7 +97,7 @@ func newLexer(src string) *lexer {
 }
 
 func (l *lexer) errf(line, col int, format string, args ...any) error {
-	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	return errAt(line, col, format, args...)
 }
 
 func (l *lexer) peek() rune {
@@ -180,6 +182,9 @@ func (l *lexer) next() (token, error) {
 	case r == '.':
 		l.advance()
 		return token{kind: tokDot, text: ".", line: line, col: col}, nil
+	case r == '!':
+		l.advance()
+		return token{kind: tokBang, text: "!", line: line, col: col}, nil
 	case r == ':':
 		l.advance()
 		if l.peek() != '-' {

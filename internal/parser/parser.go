@@ -1,7 +1,6 @@
 package parser
 
 import (
-	"fmt"
 	"strconv"
 
 	"repro/internal/ast"
@@ -36,7 +35,7 @@ func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
 func (p *parser) expect(k tokenKind) (token, error) {
 	t := p.cur()
 	if t.kind != k {
-		return t, fmt.Errorf("%d:%d: expected %s, found %s %q", t.line, t.col, k, t.kind, t.text)
+		return t, errTok(t, "expected %s, found %s %q", k, t.kind, t.text)
 	}
 	p.advance()
 	return t, nil
@@ -69,7 +68,7 @@ func Parse(src string) (*Unit, error) {
 		}
 		if rule.IsFact() {
 			if !ast.IsGroundAtom(rule.Head) {
-				return nil, fmt.Errorf("fact %s is not ground (well-formedness condition WF)", rule.Head)
+				return nil, errAt(rule.Pos.Line, rule.Pos.Col, "fact %s is not ground (well-formedness condition WF)", rule.Head)
 			}
 			unit.Facts = append(unit.Facts, rule.Head)
 		} else {
@@ -87,10 +86,12 @@ func ParseProgram(src string) (*ast.Program, error) {
 		return nil, err
 	}
 	if len(unit.Facts) > 0 {
-		return nil, fmt.Errorf("source contains %d fact(s); facts belong in the database", len(unit.Facts))
+		f := unit.Facts[0]
+		return nil, errAt(f.Pos.Line, f.Pos.Col, "source contains %d fact(s); facts belong in the database", len(unit.Facts))
 	}
 	if len(unit.Queries) > 0 {
-		return nil, fmt.Errorf("source contains %d query(ies); pass the query separately", len(unit.Queries))
+		q := unit.Queries[0].Atom
+		return nil, errAt(q.Pos.Line, q.Pos.Col, "source contains %d query(ies); pass the query separately", len(unit.Queries))
 	}
 	return unit.Program(), nil
 }
@@ -107,8 +108,7 @@ func ParseRule(src string) (ast.Rule, error) {
 		return ast.Rule{}, err
 	}
 	if !p.at(tokEOF) {
-		t := p.cur()
-		return ast.Rule{}, fmt.Errorf("%d:%d: trailing input after rule", t.line, t.col)
+		return ast.Rule{}, errTok(p.cur(), "trailing input after rule")
 	}
 	return r, nil
 }
@@ -125,8 +125,7 @@ func ParseAtom(src string) (ast.Atom, error) {
 		return ast.Atom{}, err
 	}
 	if !p.at(tokEOF) {
-		t := p.cur()
-		return ast.Atom{}, fmt.Errorf("%d:%d: trailing input after atom", t.line, t.col)
+		return ast.Atom{}, errTok(p.cur(), "trailing input after atom")
 	}
 	return a, nil
 }
@@ -149,12 +148,11 @@ func ParseQuery(src string) (ast.Query, error) {
 		p.advance()
 	}
 	if !p.at(tokEOF) {
-		t := p.cur()
-		return ast.Query{}, fmt.Errorf("%d:%d: trailing input after query", t.line, t.col)
+		return ast.Query{}, errTok(p.cur(), "trailing input after query")
 	}
 	q := ast.NewQuery(a)
 	if err := q.Validate(); err != nil {
-		return ast.Query{}, err
+		return ast.Query{}, errAt(a.Pos.Line, a.Pos.Col, "%v", err)
 	}
 	return q, nil
 }
@@ -171,8 +169,7 @@ func ParseTerm(src string) (ast.Term, error) {
 		return nil, err
 	}
 	if !p.at(tokEOF) {
-		tk := p.cur()
-		return nil, fmt.Errorf("%d:%d: trailing input after term", tk.line, tk.col)
+		return nil, errTok(p.cur(), "trailing input after term")
 	}
 	return t, nil
 }
@@ -205,7 +202,9 @@ func MustParse(src string) *Unit {
 	return u
 }
 
-// parseClause parses "head." or "head :- body.".
+// parseClause parses "head." or "head :- body.". Body literals may be
+// negated with a leading '!'; heads may not (negation in a head has no
+// Horn-clause reading).
 func (p *parser) parseClause() (ast.Rule, error) {
 	head, err := p.parseAtom()
 	if err != nil {
@@ -213,17 +212,23 @@ func (p *parser) parseClause() (ast.Rule, error) {
 	}
 	if p.at(tokDot) {
 		p.advance()
-		return ast.Rule{Head: head}, nil
+		return ast.Rule{Head: head, Pos: head.Pos}, nil
 	}
 	if _, err := p.expect(tokImplies); err != nil {
 		return ast.Rule{}, err
 	}
 	var body []ast.Atom
 	for {
+		negated := false
+		if p.at(tokBang) {
+			p.advance()
+			negated = true
+		}
 		a, err := p.parseAtom()
 		if err != nil {
 			return ast.Rule{}, err
 		}
+		a.Negated = negated
 		body = append(body, a)
 		if p.at(tokComma) {
 			p.advance()
@@ -234,27 +239,34 @@ func (p *parser) parseClause() (ast.Rule, error) {
 	if _, err := p.expect(tokDot); err != nil {
 		return ast.Rule{}, err
 	}
-	return ast.Rule{Head: head, Body: body}, nil
+	return ast.Rule{Head: head, Body: body, Pos: head.Pos}, nil
 }
 
-// parseAtom parses "pred" or "pred(t1, ..., tn)".
+// parseAtom parses "pred" or "pred(t1, ..., tn)", recording the position of
+// the predicate name and of each top-level argument.
 func (p *parser) parseAtom() (ast.Atom, error) {
 	name, err := p.expect(tokIdent)
 	if err != nil {
 		return ast.Atom{}, err
 	}
+	pos := ast.Pos{Line: name.line, Col: name.col}
 	if !p.at(tokLParen) {
-		return ast.NewAtom(name.text), nil
+		a := ast.NewAtom(name.text)
+		a.Pos = pos
+		return a, nil
 	}
 	p.advance()
 	var args []ast.Term
+	var argPos []ast.Pos
 	if !p.at(tokRParen) {
 		for {
+			start := p.cur()
 			t, err := p.parseTerm()
 			if err != nil {
 				return ast.Atom{}, err
 			}
 			args = append(args, t)
+			argPos = append(argPos, ast.Pos{Line: start.line, Col: start.col})
 			if p.at(tokComma) {
 				p.advance()
 				continue
@@ -265,7 +277,10 @@ func (p *parser) parseAtom() (ast.Atom, error) {
 	if _, err := p.expect(tokRParen); err != nil {
 		return ast.Atom{}, err
 	}
-	return ast.NewAtom(name.text, args...), nil
+	a := ast.NewAtom(name.text, args...)
+	a.Pos = pos
+	a.ArgPos = argPos
+	return a, nil
 }
 
 // parseTerm parses a variable, constant, integer, list or compound term.
@@ -279,7 +294,7 @@ func (p *parser) parseTerm() (ast.Term, error) {
 		p.advance()
 		v, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("%d:%d: invalid integer %q: %v", t.line, t.col, t.text, err)
+			return nil, errTok(t, "invalid integer %q: %v", t.text, err)
 		}
 		return ast.I(v), nil
 	case tokLBracket:
@@ -310,7 +325,7 @@ func (p *parser) parseTerm() (ast.Term, error) {
 		}
 		return ast.C(t.text, args...), nil
 	default:
-		return nil, fmt.Errorf("%d:%d: expected a term, found %s %q", t.line, t.col, t.kind, t.text)
+		return nil, errTok(t, "expected a term, found %s %q", t.kind, t.text)
 	}
 }
 

@@ -1,0 +1,167 @@
+package parser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// TestAtomPositions pins the exact line:col recorded for predicate names and
+// top-level arguments.
+func TestAtomPositions(t *testing.T) {
+	src := "anc(X, Y) :- par(X, Z),\n    anc(Z, Y).\n"
+	unit, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unit.Rules) != 1 {
+		t.Fatalf("got %d rules, want 1", len(unit.Rules))
+	}
+	r := unit.Rules[0]
+	if r.Pos != (ast.Pos{Line: 1, Col: 1}) {
+		t.Errorf("rule pos = %v, want 1:1", r.Pos)
+	}
+	if r.Head.Pos != (ast.Pos{Line: 1, Col: 1}) {
+		t.Errorf("head pos = %v, want 1:1", r.Head.Pos)
+	}
+	wantHeadArgs := []ast.Pos{{Line: 1, Col: 5}, {Line: 1, Col: 8}}
+	for i, want := range wantHeadArgs {
+		if r.Head.ArgPos[i] != want {
+			t.Errorf("head arg %d pos = %v, want %v", i, r.Head.ArgPos[i], want)
+		}
+	}
+	if r.Body[0].Pos != (ast.Pos{Line: 1, Col: 14}) {
+		t.Errorf("body[0] pos = %v, want 1:14", r.Body[0].Pos)
+	}
+	if r.Body[1].Pos != (ast.Pos{Line: 2, Col: 5}) {
+		t.Errorf("body[1] pos = %v, want 2:5", r.Body[1].Pos)
+	}
+	if r.Body[1].ArgPos[1] != (ast.Pos{Line: 2, Col: 12}) {
+		t.Errorf("body[1] arg 1 pos = %v, want 2:12", r.Body[1].ArgPos[1])
+	}
+}
+
+// TestFactAndQueryPositions checks positions on parsed facts and queries.
+func TestFactAndQueryPositions(t *testing.T) {
+	src := "% header comment\npar(john, mary).\n?- anc(john, Y).\n"
+	unit, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unit.Facts[0].Pos; got != (ast.Pos{Line: 2, Col: 1}) {
+		t.Errorf("fact pos = %v, want 2:1", got)
+	}
+	if got := unit.Queries[0].Atom.Pos; got != (ast.Pos{Line: 3, Col: 4}) {
+		t.Errorf("query atom pos = %v, want 3:4", got)
+	}
+	if got := unit.Queries[0].Atom.ArgPos[1]; got != (ast.Pos{Line: 3, Col: 14}) {
+		t.Errorf("query arg 1 pos = %v, want 3:14", got)
+	}
+}
+
+// TestErrorPositions asserts that every error path reports an exact line:col
+// and that the position is recoverable structurally via *Error.
+func TestErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		call func(string) error
+		pos  ast.Pos
+		want string
+	}{
+		{
+			name: "missing dot",
+			src:  "anc(X, Y) :- par(X, Y)",
+			call: func(s string) error { _, err := Parse(s); return err },
+			pos:  ast.Pos{Line: 1, Col: 23},
+			want: "expected",
+		},
+		{
+			name: "bad token second line",
+			src:  "anc(X, Y) :- par(X, Y).\nanc(X, ) :- par(X, Y).",
+			call: func(s string) error { _, err := Parse(s); return err },
+			pos:  ast.Pos{Line: 2, Col: 8},
+			want: "expected a term",
+		},
+		{
+			name: "non-ground fact",
+			src:  "par(john, mary).\npar(X, mary).",
+			call: func(s string) error { _, err := Parse(s); return err },
+			pos:  ast.Pos{Line: 2, Col: 1},
+			want: "not ground",
+		},
+		{
+			name: "unexpected character",
+			src:  "anc(X, Y) :- par(X, Y) & anc(Y, Z).",
+			call: func(s string) error { _, err := Parse(s); return err },
+			pos:  ast.Pos{Line: 1, Col: 24},
+			want: "unexpected character",
+		},
+		{
+			name: "program with facts",
+			src:  "anc(X, Y) :- par(X, Y).\npar(john, mary).",
+			call: func(s string) error { _, err := ParseProgram(s); return err },
+			pos:  ast.Pos{Line: 2, Col: 1},
+			want: "facts belong in the database",
+		},
+		{
+			name: "program with queries",
+			src:  "anc(X, Y) :- par(X, Y).\n?- anc(john, Y).",
+			call: func(s string) error { _, err := ParseProgram(s); return err },
+			pos:  ast.Pos{Line: 2, Col: 4},
+			want: "pass the query separately",
+		},
+		{
+			name: "negated head",
+			src:  "!anc(X, Y) :- par(X, Y).",
+			call: func(s string) error { _, err := Parse(s); return err },
+			pos:  ast.Pos{Line: 1, Col: 1},
+			want: "expected identifier, found '!'",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call(tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("error %v is not a *parser.Error", err)
+			}
+			if perr.Pos != tc.pos {
+				t.Errorf("error pos = %v, want %v (message: %s)", perr.Pos, tc.pos, perr.Msg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err.Error(), tc.want)
+			}
+			if !strings.HasPrefix(err.Error(), perr.Pos.String()+": ") {
+				t.Errorf("error %q does not start with %q", err.Error(), perr.Pos.String()+": ")
+			}
+		})
+	}
+}
+
+// TestParseNegatedLiteral checks the groundwork syntax for stratified
+// negation: '!' on body literals parses, and is rejected elsewhere.
+func TestParseNegatedLiteral(t *testing.T) {
+	unit, err := Parse("unreach(X) :- node(X), !reach(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := unit.Rules[0]
+	if r.Body[0].Negated || !r.Body[1].Negated {
+		t.Fatalf("negation flags wrong: %v %v", r.Body[0].Negated, r.Body[1].Negated)
+	}
+	if got := r.String(); got != "unreach(X) :- node(X), !reach(X)." {
+		t.Errorf("round trip = %q", got)
+	}
+	if r.Body[1].Pos != (ast.Pos{Line: 1, Col: 25}) {
+		t.Errorf("negated literal pos = %v, want 1:25 (the predicate name)", r.Body[1].Pos)
+	}
+	if _, err := ParseQuery("?- !reach(X)."); err == nil {
+		t.Error("negated query should not parse")
+	}
+}

@@ -289,6 +289,17 @@ func BuildArgumentGraph(ad *adorn.Program) *ArgumentGraph {
 // HasReachableCycle reports whether the argument graph contains a cycle
 // reachable from one of its root nodes.
 func (g *ArgumentGraph) HasReachableCycle() bool {
+	_, ok := g.ReachableCycleNode()
+	return ok
+}
+
+// ReachableCycleNode returns a witness for the Theorem 10.3 test: a node
+// ("pred^adorn#position") that lies on a cycle of the argument graph
+// reachable from a root, and whether one exists. The lint layer uses the
+// witness to point its divergence diagnostic at the offending rule and
+// argument position. Iteration is over Nodes (insertion order), so the
+// witness is deterministic.
+func (g *ArgumentGraph) ReachableCycleNode() (string, bool) {
 	reachable := make(map[string]bool)
 	var mark func(string)
 	mark = func(n string) {
@@ -303,15 +314,16 @@ func (g *ArgumentGraph) HasReachableCycle() bool {
 	for _, r := range g.Roots {
 		mark(r)
 	}
-	// Cycle detection restricted to reachable nodes (iterative DFS colors).
+	// Cycle detection restricted to reachable nodes (DFS colors); a back
+	// edge to a gray node identifies that node as lying on a cycle.
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
 	color := make(map[string]int)
-	var visit func(string) bool
-	visit = func(n string) bool {
+	var visit func(string) (string, bool)
+	visit = func(n string) (string, bool) {
 		color[n] = gray
 		for _, m := range g.Edges[n] {
 			if !reachable[m] {
@@ -319,24 +331,39 @@ func (g *ArgumentGraph) HasReachableCycle() bool {
 			}
 			switch color[m] {
 			case gray:
-				return true
+				return m, true
 			case white:
-				if visit(m) {
-					return true
+				if w, ok := visit(m); ok {
+					return w, ok
 				}
 			}
 		}
 		color[n] = black
-		return false
+		return "", false
 	}
-	for n := range reachable {
-		if color[n] == white {
-			if visit(n) {
-				return true
+	for _, n := range g.Nodes {
+		if reachable[n] && color[n] == white {
+			if w, ok := visit(n); ok {
+				return w, true
 			}
 		}
 	}
-	return false
+	return "", false
+}
+
+// SplitArgNode decodes an argument-graph node "pred^adorn#position" into the
+// adorned predicate key and the 0-based argument position. ok is false if the
+// string is not a node encoding.
+func SplitArgNode(node string) (predKey string, pos int, ok bool) {
+	i := strings.LastIndexByte(node, '#')
+	if i < 0 {
+		return "", 0, false
+	}
+	n := 0
+	if _, err := fmt.Sscanf(node[i+1:], "%d", &n); err != nil {
+		return "", 0, false
+	}
+	return node[:i], n, true
 }
 
 // Report is the combined safety assessment for an adorned program.
