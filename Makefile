@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test race vet fmt-check staticcheck vulncheck bench bench-json bench-compare quickstart ci
+.PHONY: build test race vet fmt-check staticcheck vulncheck bench bench-json bench-compare quickstart serve loadtest ci
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,12 @@ test:
 
 # Focused race gate for the snapshot/txn/materialize/parallel-eval surface:
 # the packages where lock-free snapshot readers, COW relations, commit-time
-# view maintenance, the parallel fixpoint worker pool and the memoizing
-# top-down interpreter meet. `make test` already runs everything under
-# -race; this target is the quick loop while working on that surface.
+# view maintenance, the parallel fixpoint worker pool, the memoizing
+# top-down interpreter and the concurrent HTTP serving layer meet. `make
+# test` already runs everything under -race; this target is the quick loop
+# while working on that surface.
 race:
-	$(GO) test -race ./datalog/ ./internal/database/ ./internal/eval/ ./internal/topdown/
+	$(GO) test -race ./datalog/ ./internal/database/ ./internal/eval/ ./internal/topdown/ ./internal/server/
 
 vet:
 	$(GO) vet ./...
@@ -76,4 +77,14 @@ bench-compare:
 quickstart:
 	$(GO) run ./examples/quickstart
 
-ci: build test vet staticcheck vulncheck fmt-check bench-json quickstart
+# Run datalogd locally (override with e.g. `make serve ADDR=:9000`).
+ADDR ?= :8344
+serve:
+	$(GO) run ./cmd/datalogd -addr $(ADDR)
+
+# Serving smoke: boot datalogd, run a datalogbench burst against it, assert
+# error-free throughput and a clean SIGTERM shutdown (mirrors the CI step).
+loadtest:
+	./scripts/loadtest.sh
+
+ci: build test vet staticcheck vulncheck fmt-check bench-json quickstart loadtest

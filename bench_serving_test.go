@@ -1,0 +1,176 @@
+// Serving-layer benchmarks: the /v1 protocol end to end through the HTTP
+// stack (internal/server behind an httptest listener), so the archived
+// BENCH_<date>.json carries wire-level latency next to the engine numbers.
+// Each benchmark reports the p50/p99 of its own iterations via
+// b.ReportMetric, which benchjson archives under "metrics".
+package repro_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/datalog"
+	"repro/internal/server"
+)
+
+// servingFixture boots a server with the ancestor program and a seeded
+// par-chain, returning the base URL and the prepared handle id.
+func servingFixture(b *testing.B, chain int) (string, string) {
+	b.Helper()
+	db := datalog.NewDatabase()
+	srv := server.New(db, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+
+	post := func(path string, body, out any) {
+		b.Helper()
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			b.Fatalf("%s: status %d: %s", path, resp.StatusCode, msg)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	post("/v1/programs", map[string]any{
+		"source": "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).",
+	}, nil)
+	var facts strings.Builder
+	for i := 0; i < chain; i++ {
+		fmt.Fprintf(&facts, "par(n%d, n%d). ", i, i+1)
+	}
+	post("/v1/txn", map[string]any{"assert_text": facts.String()}, nil)
+	var prep struct {
+		PreparedID string `json:"prepared_id"`
+	}
+	post("/v1/prepare", map[string]any{"query": "anc(n0, Y)"}, &prep)
+	return ts.URL, prep.PreparedID
+}
+
+// reportPercentiles turns per-iteration latencies into archived metrics.
+func reportPercentiles(b *testing.B, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 { return float64(lats[int(p*float64(len(lats)-1))]) }
+	b.ReportMetric(pct(0.50), "p50-ns")
+	b.ReportMetric(pct(0.99), "p99-ns")
+}
+
+func BenchmarkServing(b *testing.B) {
+	const chain = 100
+	url, preparedID := servingFixture(b, chain)
+	client := &http.Client{}
+
+	b.Run("query-prepared", func(b *testing.B) {
+		payload, _ := json.Marshal(map[string]any{
+			"prepared_id": preparedID,
+			"args":        []any{fmt.Sprintf("n%d", chain/2)},
+		})
+		lats := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			resp, err := client.Post(url+"/v1/query", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out struct {
+				Results []struct {
+					Answers [][]any `json:"answers"`
+				} `json:"results"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || len(out.Results) != 1 || len(out.Results[0].Answers) != chain/2 {
+				b.Fatalf("status %d, results %+v", resp.StatusCode, out)
+			}
+			lats = append(lats, time.Since(start))
+		}
+		b.StopTimer()
+		reportPercentiles(b, lats)
+	})
+
+	b.Run("stream-first16", func(b *testing.B) {
+		streamURL := fmt.Sprintf("%s/v1/query/stream?prepared_id=%s&first_n=16", url, preparedID)
+		lats := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			resp, err := client.Get(streamURL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows := 0
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				var ev struct {
+					Done bool `json:"done"`
+				}
+				if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+					b.Fatal(err)
+				}
+				if ev.Done {
+					break
+				}
+				rows++
+			}
+			resp.Body.Close()
+			if rows != 16 {
+				b.Fatalf("streamed %d rows, want 16", rows)
+			}
+			lats = append(lats, time.Since(start))
+		}
+		b.StopTimer()
+		reportPercentiles(b, lats)
+	})
+
+	b.Run("txn-single-fact", func(b *testing.B) {
+		lats := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			payload, _ := json.Marshal(map[string]any{
+				"asserts": []map[string]any{{"pred": "side", "args": []any{fmt.Sprintf("s%d", i), fmt.Sprintf("s%d", i+1)}}},
+			})
+			start := time.Now()
+			resp, err := client.Post(url+"/v1/txn", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("txn status %d", resp.StatusCode)
+			}
+			lats = append(lats, time.Since(start))
+		}
+		b.StopTimer()
+		reportPercentiles(b, lats)
+	})
+}

@@ -1,0 +1,415 @@
+// Command datalogbench is the load generator for cmd/datalogd: N concurrent
+// clients drive a mixed read/stream/write workload against a running server
+// and the latency distribution (p50/p95/p99) plus throughput land in a
+// benchjson-compatible JSON record, so serving-layer performance is archived
+// in the same BENCH_<date>.json shape as the engine benchmarks.
+//
+// Usage:
+//
+//	datalogd -addr :8344 &
+//	datalogbench -addr http://localhost:8344 -clients 8 -duration 10s \
+//	    -mix 70,20,10 -out BENCH_serving.json
+//
+// The generator is self-seeding: it uploads the ancestor program, seeds a
+// par-chain, prepares a query handle, then runs the mix — parameterized
+// point queries on the prepared handle, NDJSON streams, and single-fact
+// transactions. Every request uses tenant "bench".
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+const benchProgram = `
+	anc(X, Y) :- par(X, Y).
+	anc(X, Y) :- par(X, Z), anc(Z, Y).
+`
+
+// opKind indexes the workload mix.
+const (
+	opQuery = iota
+	opStream
+	opTxn
+	numOps
+)
+
+var opNames = [numOps]string{"query", "stream", "txn"}
+
+// sample is one completed request.
+type sample struct {
+	op      int
+	latency time.Duration
+	err     bool
+}
+
+// result mirrors cmd/benchjson's Result so the archives compose.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datalogbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "http://localhost:8344", "datalogd base URL")
+		clients  = flag.Int("clients", 8, "concurrent clients")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		mix      = flag.String("mix", "70,20,10", "percentage mix query,stream,txn")
+		chain    = flag.Int("chain", 200, "length of the seeded par-chain")
+		outPath  = flag.String("out", "", "write benchjson records here (default: stdout)")
+		name     = flag.String("name", "BenchmarkServingLoad", "benchmark name prefix in the JSON record")
+	)
+	flag.Parse()
+
+	var weights [numOps]int
+	parts := strings.Split(*mix, ",")
+	if len(parts) != numOps {
+		return fmt.Errorf("-mix wants %d comma-separated percentages, got %q", numOps, *mix)
+	}
+	total := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return fmt.Errorf("-mix component %q is not a non-negative integer", p)
+		}
+		weights[i] = n
+		total += n
+	}
+	if total == 0 {
+		return fmt.Errorf("-mix is all zeros")
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := waitHealthy(client, *addr, 10*time.Second); err != nil {
+		return err
+	}
+	preparedID, err := seed(client, *addr, *chain)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "seeded %d-fact chain, prepared handle %s; %d clients for %v (mix %s)\n",
+		*chain, preparedID, *clients, *duration, *mix)
+
+	samples := make(chan sample, 4096)
+	var collected []sample
+	var collectWG sync.WaitGroup
+	collectWG.Add(1)
+	go func() {
+		defer collectWG.Done()
+		for s := range samples {
+			collected = append(collected, s)
+		}
+	}()
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			w := &worker{
+				client:   &http.Client{Timeout: 30 * time.Second},
+				addr:     *addr,
+				prepared: preparedID,
+				chain:    *chain,
+				id:       c,
+				rng:      rng,
+			}
+			for time.Now().Before(deadline) {
+				op := pick(rng, weights, total)
+				start := time.Now()
+				err := w.do(op)
+				samples <- sample{op: op, latency: time.Since(start), err: err != nil}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(samples)
+	collectWG.Wait()
+
+	results := summarize(*name, collected, *duration)
+	if len(results) == 0 {
+		return fmt.Errorf("no requests completed")
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(os.Stderr, "%-40s %8d ops  p50 %8.0fns  p95 %8.0fns  p99 %8.0fns  %8.1f ops/s  errors %.0f\n",
+			r.Name, r.Iterations, r.Metrics["p50_ns"], r.Metrics["p95_ns"], r.Metrics["p99_ns"],
+			r.Metrics["ops_per_sec"], r.Metrics["errors"])
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(results), *outPath)
+	return nil
+}
+
+// pick draws an op kind from the weighted mix.
+func pick(rng *rand.Rand, weights [numOps]int, total int) int {
+	n := rng.Intn(total)
+	for op, w := range weights {
+		if n < w {
+			return op
+		}
+		n -= w
+	}
+	return opQuery
+}
+
+// waitHealthy polls /healthz until the server answers.
+func waitHealthy(client *http.Client, addr string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s never became healthy: %v", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// postJSON posts body and decodes the response into out when non-nil.
+func postJSON(client *http.Client, url, tenant string, body, out any) error {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return err
+	}
+	req, err := http.NewRequest("POST", url, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// seed uploads the program, seeds the chain and prepares the point query.
+func seed(client *http.Client, addr string, chain int) (string, error) {
+	if err := postJSON(client, addr+"/v1/programs", "bench",
+		map[string]any{"source": benchProgram, "activate": true}, nil); err != nil {
+		return "", err
+	}
+	var facts strings.Builder
+	for i := 0; i < chain; i++ {
+		fmt.Fprintf(&facts, "par(n%d, n%d). ", i, i+1)
+	}
+	if err := postJSON(client, addr+"/v1/txn", "bench",
+		map[string]any{"assert_text": facts.String()}, nil); err != nil {
+		return "", err
+	}
+	var prep struct {
+		PreparedID string `json:"prepared_id"`
+	}
+	if err := postJSON(client, addr+"/v1/prepare", "bench",
+		map[string]any{"query": "anc(n0, Y)"}, &prep); err != nil {
+		return "", err
+	}
+	return prep.PreparedID, nil
+}
+
+// worker is one load-generating client.
+type worker struct {
+	client   *http.Client
+	addr     string
+	prepared string
+	chain    int
+	id       int
+	seq      int
+	rng      *rand.Rand
+}
+
+func (w *worker) do(op int) error {
+	switch op {
+	case opStream:
+		return w.stream()
+	case opTxn:
+		return w.txn()
+	default:
+		return w.query()
+	}
+}
+
+// query runs the prepared handle from a random chain node.
+func (w *worker) query() error {
+	start := fmt.Sprintf("n%d", w.rng.Intn(w.chain))
+	var out struct {
+		Results []struct {
+			Answers [][]any `json:"answers"`
+		} `json:"results"`
+	}
+	err := postJSON(w.client, w.addr+"/v1/query", "bench",
+		map[string]any{"prepared_id": w.prepared, "args": []any{start}}, &out)
+	if err != nil {
+		return err
+	}
+	if len(out.Results) != 1 {
+		return fmt.Errorf("expected one result, got %d", len(out.Results))
+	}
+	return nil
+}
+
+// stream reads an NDJSON stream of the first 32 rows.
+func (w *worker) stream() error {
+	start := w.rng.Intn(w.chain)
+	url := fmt.Sprintf("%s/v1/query/stream?prepared_id=%s&args=n%d&first_n=32", w.addr, w.prepared, start)
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Tenant", "bench")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Done  bool            `json:"done"`
+			Error json.RawMessage `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return err
+		}
+		if len(ev.Error) > 0 {
+			return fmt.Errorf("stream error event: %s", ev.Error)
+		}
+		if ev.Done {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("stream ended without a terminal event")
+}
+
+// txn appends one fact to the worker's private side chain.
+func (w *worker) txn() error {
+	w.seq++
+	return postJSON(w.client, w.addr+"/v1/txn", "bench", map[string]any{
+		"asserts": []map[string]any{{
+			"pred": "side",
+			"args": []any{fmt.Sprintf("c%d_%d", w.id, w.seq), fmt.Sprintf("c%d_%d", w.id, w.seq+1)},
+		}},
+	}, nil)
+}
+
+// summarize turns the samples into one benchjson record per op kind plus an
+// overall record.
+func summarize(name string, samples []sample, elapsed time.Duration) []result {
+	byOp := make([][]time.Duration, numOps)
+	errs := make([]int, numOps)
+	for _, s := range samples {
+		if s.err {
+			errs[s.op]++
+			continue
+		}
+		byOp[s.op] = append(byOp[s.op], s.latency)
+	}
+	var all []time.Duration
+	allErrs := 0
+	var out []result
+	for op, lats := range byOp {
+		all = append(all, lats...)
+		allErrs += errs[op]
+		if len(lats)+errs[op] == 0 {
+			continue
+		}
+		out = append(out, record(fmt.Sprintf("%s/%s", name, opNames[op]), lats, errs[op], elapsed))
+	}
+	if len(all)+allErrs > 0 {
+		out = append(out, record(name, all, allErrs, elapsed))
+	}
+	return out
+}
+
+// record computes one result's latency distribution and throughput.
+func record(name string, lats []time.Duration, errCount int, elapsed time.Duration) result {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i])
+	}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	mean := 0.0
+	if len(lats) > 0 {
+		mean = float64(sum) / float64(len(lats))
+	}
+	return result{
+		Name:       name,
+		Iterations: int64(len(lats)),
+		NsPerOp:    mean,
+		Metrics: map[string]float64{
+			"p50_ns":      pct(0.50),
+			"p95_ns":      pct(0.95),
+			"p99_ns":      pct(0.99),
+			"ops_per_sec": float64(len(lats)) / elapsed.Seconds(),
+			"errors":      float64(errCount),
+		},
+	}
+}

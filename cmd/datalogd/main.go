@@ -1,0 +1,142 @@
+// Command datalogd serves a Datalog database over HTTP/JSON: the
+// prepare-once/run-many protocol of internal/server (upload programs,
+// prepare query forms, run and stream them with per-call constants, write
+// through atomic transactions), with snapshot-pinned reads and per-tenant
+// admission control.
+//
+// Usage:
+//
+//	datalogd -addr :8344 -program rules.dl -facts facts.dl \
+//	    -max-concurrent 32 -max-derivations 1000000 -timeout 5s
+//
+// The -program file is compiled and activated as the default program; the
+// -facts file (plain "pred(a, b)." source syntax) seeds the database. Both
+// are optional — programs and facts can also arrive over the wire. The
+// -limits file, when given, is a JSON object mapping tenant names to their
+// Limits overrides; the flag-level limits apply to every other tenant.
+//
+// See cmd/datalogd/README.md for the endpoint reference with curl examples.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/datalog"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datalogd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":8344", "listen address")
+		programPath = flag.String("program", "", "rule program to compile and activate at boot")
+		factsPath   = flag.String("facts", "", "fact file (source syntax) to seed the database")
+		strict      = flag.Bool("strict", false, "refuse the boot program on warnings, not just errors")
+		limitsPath  = flag.String("limits", "", "JSON file mapping tenant names to Limits overrides")
+
+		maxConcurrent  = flag.Int("max-concurrent", 0, "per-tenant concurrent-request cap (0 = unlimited)")
+		maxDerivations = flag.Int64("max-derivations", 0, "per-request derivation gas (0 = unlimited)")
+		maxFacts       = flag.Int("max-facts", 0, "per-request derived-fact cap (0 = unlimited)")
+		timeout        = flag.Duration("timeout", 0, "per-request wall-clock bound (0 = unlimited)")
+		maxBody        = flag.Int64("max-body-bytes", 0, "request body cap in bytes (0 = 8MiB default)")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		DefaultLimits: server.Limits{
+			MaxConcurrent:  *maxConcurrent,
+			MaxDerivations: *maxDerivations,
+			MaxFacts:       *maxFacts,
+			Timeout:        *timeout,
+			MaxBodyBytes:   *maxBody,
+		},
+	}
+	if *limitsPath != "" {
+		data, err := os.ReadFile(*limitsPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &cfg.TenantLimits); err != nil {
+			return fmt.Errorf("parsing %s: %w", *limitsPath, err)
+		}
+	}
+
+	db := datalog.NewDatabase()
+	srv := server.New(db, cfg)
+
+	if *factsPath != "" {
+		data, err := os.ReadFile(*factsPath)
+		if err != nil {
+			return err
+		}
+		txn := db.Begin()
+		if err := txn.AssertText(string(data)); err != nil {
+			return fmt.Errorf("seeding %s: %w", *factsPath, err)
+		}
+		if err := txn.Commit(); err != nil {
+			return err
+		}
+		log.Printf("seeded %d facts from %s (version %d)", db.TotalFacts(), *factsPath, db.Version())
+	}
+	if *programPath != "" {
+		data, err := os.ReadFile(*programPath)
+		if err != nil {
+			return err
+		}
+		resp, err := srv.LoadProgram(string(data), *strict, true)
+		if err != nil {
+			return fmt.Errorf("compiling %s: %w", *programPath, err)
+		}
+		log.Printf("loaded program %s (%d rules, %d diagnostics) from %s",
+			resp.ProgramID, resp.Rules, len(resp.Diagnostics), *programPath)
+		for _, d := range resp.Diagnostics {
+			log.Printf("  %s", d)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("datalogd listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("shutdown clean")
+		return nil
+	}
+}

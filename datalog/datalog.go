@@ -284,26 +284,31 @@ const (
 	SipGreedy SipPolicy = "greedy"
 )
 
-// Options configure one query evaluation.
+// Options configure one query evaluation. The JSON field tags are a stable
+// wire contract (used by the cmd/datalogd protocol): new fields may be
+// added, but existing names never change. Values arriving over the wire are
+// untrusted, which is why every entry point validates the options and
+// returns a descriptive error for out-of-range or unknown values instead of
+// undefined behavior.
 type Options struct {
 	// Strategy selects the evaluation strategy; the zero value means
 	// MagicSets.
-	Strategy Strategy
+	Strategy Strategy `json:"strategy,omitempty"`
 	// Sip selects the sip policy for the rewriting strategies; the zero
 	// value means SipFull.
-	Sip SipPolicy
+	Sip SipPolicy `json:"sip,omitempty"`
 	// Semijoin applies the semijoin optimization of Section 8 to the
 	// counting rewritings (ignored by other strategies, and silently skipped
 	// when the program does not qualify under Theorem 8.3).
-	Semijoin bool
+	Semijoin bool `json:"semijoin,omitempty"`
 	// KeepAllGuards disables the Proposition 4.3 simplification of the
 	// magic-sets rewriting, inserting a magic guard before every derived
 	// body occurrence.
-	KeepAllGuards bool
+	KeepAllGuards bool `json:"keep_all_guards,omitempty"`
 	// Simplify removes tautological and duplicate rules from the rewritten
 	// program before evaluation (for example the magic_a(X) :- magic_a(X)
 	// rule of the nonlinear-ancestor rewriting).
-	Simplify bool
+	Simplify bool `json:"simplify,omitempty"`
 	// MaxIterations, MaxFacts and MaxDerivations bound the bottom-up
 	// evaluation (0 = unlimited); ErrLimitExceeded is reported when a bound
 	// is hit, which is how non-terminating evaluations (e.g. counting on
@@ -312,9 +317,9 @@ type Options struct {
 	// evaluated program's dependency graph, so it bounds how long any one
 	// fixpoint loop may run regardless of how many strata the program has;
 	// the Naive strategy bounds whole-program rounds.
-	MaxIterations  int
-	MaxFacts       int
-	MaxDerivations int64
+	MaxIterations  int   `json:"max_iterations,omitempty"`
+	MaxFacts       int   `json:"max_facts,omitempty"`
+	MaxDerivations int64 `json:"max_derivations,omitempty"`
 	// FirstN, when positive, stops the evaluation as soon as N answers
 	// exist and caps Result.Answers (and the rows a Stream yields) at N.
 	// For the bottom-up strategies the answer relation is checked between
@@ -323,14 +328,14 @@ type Options struct {
 	// unwinds mid-pass. Stats.StoppedEarly reports that the cutoff fired.
 	// Like the Max limits it is a run-time option: it does not change the
 	// prepared query form.
-	FirstN int
+	FirstN int `json:"first_n,omitempty"`
 	// NoMaterialize disables the materialized-view fast path for this run:
 	// even when the database keeps the queried program's IDB materialized
 	// (Database.Materialize), the query evaluates from scratch under its
 	// strategy instead of answering by lookup. Differential tests use it to
 	// compare the maintained IDB against cold re-derivation; like FirstN it
 	// is a run-time option that does not change the prepared form.
-	NoMaterialize bool
+	NoMaterialize bool `json:"no_materialize,omitempty"`
 	// Parallelism is the number of workers the bottom-up fixpoint may use:
 	// independent strongly connected components of the evaluated program run
 	// concurrently, and large delta rounds are hash-partitioned across
@@ -340,13 +345,55 @@ type Options struct {
 	// engaged. The Naive and TopDown strategies always evaluate
 	// sequentially. Like the Max limits it is a run-time option: it does not
 	// change the prepared query form.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 	// OnDivergence selects what the engine does when a counting strategy is
 	// requested for a query form the Section 10 analysis proves divergent on
 	// every database (Theorem 10.3; see Program.DiagnosticsFor). The zero
 	// value is DivergenceFallback. It shapes the prepared form, so forms
 	// prepared under different policies do not share a preparation.
-	OnDivergence DivergencePolicy
+	OnDivergence DivergencePolicy `json:"on_divergence,omitempty"`
+}
+
+// Validate checks the options for out-of-range limits and unknown
+// enumeration values, returning a descriptive error for the first problem
+// found (nil when the options are usable). Zero values are always valid —
+// they mean "default" or "unlimited". Every query entry point (Query,
+// Prepare, Stream, on engines and snapshots alike) validates its options
+// through this method, so a serving layer unmarshaling untrusted Options
+// can rely on a clean error instead of undefined behavior; calling it
+// directly just surfaces the problem before any work is done.
+func (o Options) Validate() error {
+	if o.Strategy != "" {
+		if _, err := ParseStrategy(string(o.Strategy)); err != nil {
+			return err
+		}
+	}
+	switch o.Sip {
+	case "", SipFull, SipPartial, SipGreedy:
+	default:
+		return fmt.Errorf("datalog: unknown sip policy %q (want one of [%s %s %s])", o.Sip, SipFull, SipPartial, SipGreedy)
+	}
+	switch o.OnDivergence {
+	case "", DivergenceFallback, DivergenceFail, DivergenceRun:
+	default:
+		return fmt.Errorf("datalog: unknown divergence policy %q (want one of [%s %s %s])",
+			o.OnDivergence, DivergenceFallback, DivergenceFail, DivergenceRun)
+	}
+	for _, lim := range []struct {
+		name string
+		v    int64
+	}{
+		{"MaxIterations", int64(o.MaxIterations)},
+		{"MaxFacts", int64(o.MaxFacts)},
+		{"MaxDerivations", o.MaxDerivations},
+		{"FirstN", int64(o.FirstN)},
+		{"Parallelism", int64(o.Parallelism)},
+	} {
+		if lim.v < 0 {
+			return fmt.Errorf("datalog: Options.%s is negative (%d); use 0 for the default", lim.name, lim.v)
+		}
+	}
+	return nil
 }
 
 // DivergencePolicy is the Options.OnDivergence setting: how a query path
@@ -399,81 +446,81 @@ func (a Answer) String() string { return "(" + strings.Join(a.Values, ", ") + ")
 // Stats summarizes the work done to answer a query.
 type Stats struct {
 	// Strategy echoes the strategy used.
-	Strategy Strategy
+	Strategy Strategy `json:"strategy"`
 	// Sip echoes the sip policy used (empty for non-rewriting strategies).
-	Sip SipPolicy
+	Sip SipPolicy `json:"sip,omitempty"`
 	// RewrittenRules is the number of rules in the rewritten program (0 when
 	// no rewriting was performed).
-	RewrittenRules int
+	RewrittenRules int `json:"rewritten_rules,omitempty"`
 	// DerivedFacts counts the facts computed for (rewritten) derived
 	// predicates, excluding auxiliary predicates.
-	DerivedFacts int
+	DerivedFacts int `json:"derived_facts"`
 	// AuxFacts counts the facts computed for the auxiliary predicates
 	// introduced by the rewriting (magic, supplementary, counting), or the
 	// number of memoized subqueries for the top-down strategy.
-	AuxFacts int
+	AuxFacts int `json:"aux_facts,omitempty"`
 	// Derivations counts successful rule firings (or body instantiations).
-	Derivations int64
+	Derivations int64 `json:"derivations"`
 	// Iterations is the number of bottom-up iterations or top-down passes.
-	Iterations int
+	Iterations int `json:"iterations"`
 	// JoinProbes counts tuple match attempts during bottom-up evaluation:
 	// every candidate tuple tested against a body literal, whether it came
 	// from an indexed probe or a scan. It is the executor-level proxy for
 	// the join work the paper's Section 9 cost model counts.
-	JoinProbes int64
+	JoinProbes int64 `json:"join_probes,omitempty"`
 	// Strata is the number of strongly connected components of the evaluated
 	// program's dependency graph that the semi-naive scheduler processed
 	// (0 for the naive and top-down strategies).
-	Strata int
+	Strata int `json:"strata,omitempty"`
 	// IndexProbes is the number of bound-column index lookups performed
 	// during bottom-up evaluation; IndexHits is the number of tuples those
 	// lookups returned. Together they describe how selective the join
 	// indexes were. These are storage-level counters: scans contribute to
 	// JoinProbes but to neither of these.
-	IndexProbes int64
-	IndexHits   int64
+	IndexProbes int64 `json:"index_probes,omitempty"`
+	IndexHits   int64 `json:"index_hits,omitempty"`
 	// CompiledPlans counts the ID-space join pipelines the bottom-up
 	// evaluator compiled for the query (one per rule and delta-occurrence
 	// variant executed); PlanOps is the total number of pipeline ops across
 	// them. Both are 0 for the top-down strategy.
-	CompiledPlans int
-	PlanOps       int
+	CompiledPlans int `json:"compiled_plans,omitempty"`
+	PlanOps       int `json:"plan_ops,omitempty"`
 	// OpProbes counts executed pipeline probe ops (index-driven body steps)
 	// and OpScans executed scan ops (body steps with no bound column): the
 	// ratio shows how often evaluation could drive a join through an index.
-	OpProbes int64
-	OpScans  int64
+	OpProbes int64 `json:"op_probes,omitempty"`
+	OpScans  int64 `json:"op_scans,omitempty"`
 	// PlanCacheHit reports that the evaluation reused a previously prepared
 	// query form (an explicit PreparedQuery, or Engine.Query hitting its
 	// internal form cache): adornment, rewriting and plan analysis were all
 	// skipped (Engine.Query still parses the query text per call; only
 	// PreparedQuery.Run skips parsing too), and CompiledPlans counts only
 	// pipelines compiled fresh during this run — 0 once the form is warm.
-	PlanCacheHit bool
+	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
 	// StoppedEarly reports that Options.FirstN cut the evaluation off
 	// before it reached a fixpoint: the answers returned are sound but the
 	// derived-fact counters describe a truncated evaluation.
-	StoppedEarly bool
+	StoppedEarly bool `json:"stopped_early,omitempty"`
 	// MaterializedHit reports that the query was answered by pure index
 	// lookup from the database's materialized IDB (Database.Materialize): no
 	// evaluation ran, so the work counters (Derivations, JoinProbes, …) are
 	// zero and DerivedFacts is the stored size of the queried relation. The
 	// per-database aggregate counters live in MaterializedStats.
-	MaterializedHit bool
+	MaterializedHit bool `json:"materialized_hit,omitempty"`
 	// ParallelComponents is the number of dependency-graph components the
 	// parallel fixpoint scheduler ran (0 when evaluation was sequential:
 	// Options.Parallelism 1, a Naive/TopDown strategy, or a materialized
 	// hit). WorkerRounds counts per-shard executions of hash-partitioned
 	// delta rounds; it stays 0 when every round was below the partitioning
 	// threshold even though components may still have run concurrently.
-	ParallelComponents int
-	WorkerRounds       int64
+	ParallelComponents int   `json:"parallel_components,omitempty"`
+	WorkerRounds       int64 `json:"worker_rounds,omitempty"`
 	// DivergenceFallback reports that a counting strategy was requested but
 	// the Section 10 analysis proved the form divergent on every database,
 	// so the engine evaluated the equivalent magic rewriting instead
 	// (Options.OnDivergence = DivergenceFallback, the default). Strategy
 	// still echoes the requested counting strategy.
-	DivergenceFallback bool
+	DivergenceFallback bool `json:"divergence_fallback,omitempty"`
 }
 
 // TotalFacts returns DerivedFacts + AuxFacts.
@@ -692,7 +739,9 @@ func (e *Engine) QueryCtx(ctx context.Context, querySrc string, opts Options) (*
 	if err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
-	normalizeOptions(&opts)
+	if err := normalizeOptions(&opts); err != nil {
+		return nil, err
+	}
 	prog := e.prog.Load()
 	form, hit, err := prog.preparedFor(q, opts, e.db.store.Table())
 	if err != nil {
@@ -710,6 +759,9 @@ func (e *Engine) Rewrite(querySrc string, opts Options) (*Result, error) {
 	q, err := parser.ParseQuery(querySrc)
 	if err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	if opts.Strategy == "" {
 		opts.Strategy = MagicSets

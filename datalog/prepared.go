@@ -100,7 +100,9 @@ func (e *Engine) Prepare(querySrc string, opts Options) (*PreparedQuery, error) 
 	if err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
-	normalizeOptions(&opts)
+	if err := normalizeOptions(&opts); err != nil {
+		return nil, err
+	}
 	prog := e.prog.Load()
 	form, _, err := prog.preparedFor(q, opts, e.db.store.Table())
 	if err != nil {
@@ -109,10 +111,14 @@ func (e *Engine) Prepare(querySrc string, opts Options) (*PreparedQuery, error) 
 	return handleFor(engineView{eng: e, prog: prog}, prog, form, q, opts), nil
 }
 
-// normalizeOptions resolves the zero values of the form-shaping options to
-// their documented defaults, so equivalent option sets share one cached
-// form ({} and {Strategy: MagicSets, Sip: SipFull} are the same form).
-func normalizeOptions(opts *Options) {
+// normalizeOptions validates the options (see Options.Validate) and
+// resolves the zero values of the form-shaping ones to their documented
+// defaults, so equivalent option sets share one cached form ({} and
+// {Strategy: MagicSets, Sip: SipFull} are the same form).
+func normalizeOptions(opts *Options) error {
+	if err := opts.Validate(); err != nil {
+		return err
+	}
 	if opts.Strategy == "" {
 		opts.Strategy = MagicSets
 	}
@@ -122,6 +128,7 @@ func normalizeOptions(opts *Options) {
 	if opts.OnDivergence == "" {
 		opts.OnDivergence = DivergenceFallback
 	}
+	return nil
 }
 
 // Run evaluates the prepared query against the engine's current facts. It

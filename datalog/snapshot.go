@@ -97,7 +97,9 @@ func (s *Snapshot) QueryCtx(ctx context.Context, querySrc string, opts Options) 
 	if err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
-	normalizeOptions(&opts)
+	if err := normalizeOptions(&opts); err != nil {
+		return nil, err
+	}
 	form, hit, err := prog.preparedFor(q, opts, s.store.Table())
 	if err != nil {
 		return nil, err
@@ -121,7 +123,9 @@ func (s *Snapshot) Prepare(querySrc string, opts Options) (*PreparedQuery, error
 	if err != nil {
 		return nil, fmt.Errorf("datalog: %w", err)
 	}
-	normalizeOptions(&opts)
+	if err := normalizeOptions(&opts); err != nil {
+		return nil, err
+	}
 	form, _, err := prog.preparedFor(q, opts, s.store.Table())
 	if err != nil {
 		return nil, err

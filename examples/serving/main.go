@@ -1,0 +1,129 @@
+// Serving walkthrough: boot the HTTP serving layer in-process and drive the
+// whole prepare-once/run-many protocol over the wire — upload a program,
+// write facts atomically, prepare a query form, run it with per-call
+// constants, stream rows as NDJSON, and watch per-tenant admission control
+// kill a query on its derivation gas while still returning the stats the
+// aborted run accrued.
+//
+// This is exactly what `cmd/datalogd` serves; here the server runs on a
+// loopback listener so the example is self-contained. Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/datalog"
+	"repro/internal/server"
+)
+
+func main() {
+	// One database behind the server; tenant "metered" gets a tiny
+	// derivation-gas cap so we can watch admission control bite.
+	srv := server.New(datalog.NewDatabase(), server.Config{
+		TenantLimits: map[string]server.Limits{
+			"metered": {MaxDerivations: 3}, // below even this tiny closure's cost
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler()) //nolint:errcheck // dies with the example
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// Upload and activate the ancestor program of Section 1.
+	var prog server.ProgramResponse
+	post(base+"/v1/programs", "", server.ProgramRequest{
+		Source:   "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).",
+		Activate: true,
+	}, &prog)
+	fmt.Printf("program %s compiled: %d rules\n", prog.ProgramID, prog.Rules)
+
+	// Write the parenthood chain in one atomic transaction.
+	var txn server.TxnResponse
+	post(base+"/v1/txn", "", server.TxnRequest{
+		AssertText: "par(john, mary). par(mary, sue).",
+		Asserts:    []server.Fact{{Pred: "par", Args: []any{"sue", "ann"}}},
+	}, &txn)
+	fmt.Printf("committed %d facts at version %d\n", txn.Asserts, txn.Version)
+
+	// Prepare the query form once: adornment, the magic rewrite and plan
+	// compilation happen here. Runs of the handle only evaluate.
+	var prep server.PrepareResponse
+	post(base+"/v1/prepare", "", server.PrepareRequest{Query: "anc(john, Y)"}, &prep)
+	fmt.Printf("prepared handle %s\n", prep.PreparedID)
+
+	// Run it, then re-parameterize it: args replace the form's bound
+	// constant, so one handle serves every point query of this shape.
+	var qr server.QueryResponse
+	post(base+"/v1/query", "", server.QueryRequest{
+		QueryEntry: server.QueryEntry{PreparedID: prep.PreparedID},
+	}, &qr)
+	fmt.Printf("anc(john, Y) at version %d: %v\n", qr.Version, qr.Results[0].Answers)
+
+	qr = server.QueryResponse{}
+	post(base+"/v1/query", "", server.QueryRequest{
+		QueryEntry: server.QueryEntry{PreparedID: prep.PreparedID, Args: []any{"mary"}},
+	}, &qr)
+	fmt.Printf("anc(mary, Y): %v (derivations=%d, plan cache hit=%v)\n",
+		qr.Results[0].Answers, qr.Results[0].Stats.Derivations, qr.Results[0].Stats.PlanCacheHit)
+
+	// Stream the rows as NDJSON with first_n cutting evaluation short.
+	resp, err := http.Get(base + "/v1/query/stream?prepared_id=" + prep.PreparedID + "&first_n=2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Println("stream:", sc.Text())
+	}
+	resp.Body.Close()
+
+	// Tenant "metered" has 3 derivations of gas — the full closure costs
+	// more, so the run is killed and billed: the error names the tenant and
+	// the response carries the stats the aborted evaluation accrued.
+	var errBody struct {
+		Error *server.WireError `json:"error"`
+		Stats *datalog.Stats    `json:"stats"`
+	}
+	status := post(base+"/v1/query", "metered", server.QueryRequest{
+		QueryEntry: server.QueryEntry{Query: "anc(X, Y)"},
+	}, &errBody)
+	fmt.Printf("metered tenant: HTTP %d, code=%s, accrued derivations=%d\n",
+		status, errBody.Error.Code, errBody.Stats.Derivations)
+}
+
+// post sends one JSON request (tenant optional) and decodes the response,
+// returning the HTTP status.
+func post(url, tenant string, body, out any) int {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url, &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+	return resp.StatusCode
+}

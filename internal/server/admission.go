@@ -1,0 +1,205 @@
+// Per-tenant admission control: the layer between the HTTP handlers and
+// the engine that decides whether a request may run at all and, when it
+// may, how much it may cost.
+//
+// Every request is accounted to a tenant (the X-Tenant header; "default"
+// when absent) with four knobs, the same shape a production Datalog engine
+// like Google Mangle exposes (FactLimit / DerivedFactsLimit / QueryTimeout):
+//
+//   - MaxConcurrent: a counting semaphore per tenant. Admission is
+//     non-blocking — a tenant at capacity is rejected immediately with
+//     over_capacity (HTTP 429) instead of queueing, so one tenant's burst
+//     cannot build an unbounded queue inside the server.
+//   - MaxDerivations / MaxFacts: per-request derivation gas and fact caps,
+//     clamped onto whatever the request's own Options ask for. A request
+//     can lower its gas below the tenant cap, never raise it above.
+//   - Timeout: a wall-clock bound turned into a context deadline at
+//     admission; the engine's fixpoints observe it mid-evaluation.
+//   - MaxBodyBytes: the request-size cap, enforced before the body is
+//     decoded (http.MaxBytesReader), so an oversized upload is refused
+//     after reading at most the cap.
+//
+// Rejections and limit hits are never silent: the structured error carries
+// the tenant, and evaluations that died on their gas return the
+// datalog.Stats they accrued — the client sees what the aborted run cost.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/datalog"
+)
+
+// Limits are one tenant's admission-control knobs. The zero value of each
+// field means "unlimited" (no semaphore, no gas cap, no deadline); the zero
+// Limits admits everything, which is the right default for trusted
+// single-tenant use.
+type Limits struct {
+	// MaxConcurrent caps the tenant's in-flight requests (queries, streams
+	// and transactions alike); excess requests are rejected immediately
+	// with over_capacity.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// MaxDerivations is the per-request derivation gas: every request's
+	// Options.MaxDerivations is clamped to at most this.
+	MaxDerivations int64 `json:"max_derivations,omitempty"`
+	// MaxFacts clamps Options.MaxFacts the same way.
+	MaxFacts int `json:"max_facts,omitempty"`
+	// Timeout is the per-request wall-clock bound; requests may ask for
+	// less via timeout_ms, never for more.
+	Timeout time.Duration `json:"-"`
+	// TimeoutMillis is the JSON face of Timeout (config files and
+	// /v1/stats); when both are set, Timeout wins.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// MaxBodyBytes caps the request body size.
+	MaxBodyBytes int64 `json:"max_body_bytes,omitempty"`
+}
+
+// timeout resolves the effective wall-clock bound of the limits.
+func (l Limits) timeout() time.Duration {
+	if l.Timeout > 0 {
+		return l.Timeout
+	}
+	if l.TimeoutMillis > 0 {
+		return time.Duration(l.TimeoutMillis) * time.Millisecond
+	}
+	return 0
+}
+
+// clampOptions applies the tenant's per-request resource caps onto a
+// request's evaluation options: a request keeps a stricter limit of its
+// own and is cut down to the tenant cap otherwise.
+func (l Limits) clampOptions(o *datalog.Options) {
+	if l.MaxDerivations > 0 && (o.MaxDerivations == 0 || o.MaxDerivations > l.MaxDerivations) {
+		o.MaxDerivations = l.MaxDerivations
+	}
+	if l.MaxFacts > 0 && (o.MaxFacts == 0 || o.MaxFacts > l.MaxFacts) {
+		o.MaxFacts = l.MaxFacts
+	}
+}
+
+// requestContext derives the evaluation context: the tighter of the
+// request's own timeout ask and the tenant bound, as a deadline on ctx.
+// The returned cancel must always be called.
+func (l Limits) requestContext(ctx context.Context, asked time.Duration) (context.Context, context.CancelFunc) {
+	bound := l.timeout()
+	if asked > 0 && (bound == 0 || asked < bound) {
+		bound = asked
+	}
+	if bound <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, bound)
+}
+
+// tenant is the live admission state of one tenant: its resolved limits,
+// the concurrency semaphore, and the counters /v1/stats reports.
+type tenant struct {
+	name   string
+	limits Limits
+	// sem is the concurrency semaphore; nil means unlimited.
+	sem chan struct{}
+
+	admitted      atomic.Int64
+	rejected      atomic.Int64
+	active        atomic.Int64
+	queries       atomic.Int64
+	streams       atomic.Int64
+	txns          atomic.Int64
+	rowsStreamed  atomic.Int64
+	limitExceeded atomic.Int64
+}
+
+// admit tries to take a concurrency slot without blocking. On success the
+// returned release must be called exactly once when the request finishes;
+// on failure the request must be rejected with the returned error.
+func (t *tenant) admit() (release func(), err error) {
+	if t.sem != nil {
+		select {
+		case t.sem <- struct{}{}:
+		default:
+			t.rejected.Add(1)
+			return nil, fmt.Errorf("tenant %q is at its concurrency limit (%d in flight)",
+				t.name, t.limits.MaxConcurrent)
+		}
+	}
+	t.admitted.Add(1)
+	t.active.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.active.Add(-1)
+			if t.sem != nil {
+				<-t.sem
+			}
+		})
+	}, nil
+}
+
+// stats snapshots the tenant's counters.
+func (t *tenant) stats() TenantStats {
+	return TenantStats{
+		Admitted:      t.admitted.Load(),
+		Rejected:      t.rejected.Load(),
+		Active:        t.active.Load(),
+		Queries:       t.queries.Load(),
+		Streams:       t.streams.Load(),
+		Txns:          t.txns.Load(),
+		RowsStreamed:  t.rowsStreamed.Load(),
+		LimitExceeded: t.limitExceeded.Load(),
+	}
+}
+
+// admission is the tenant registry: configured per-tenant overrides over a
+// default Limits, with tenant state created lazily on first sight.
+type admission struct {
+	defaults  Limits
+	overrides map[string]Limits
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+}
+
+func newAdmission(defaults Limits, overrides map[string]Limits) *admission {
+	return &admission{
+		defaults:  defaults,
+		overrides: overrides,
+		tenants:   make(map[string]*tenant),
+	}
+}
+
+// tenantFor returns (creating on first use) the admission state of a
+// tenant. Unknown tenants get the default limits — multi-tenancy is
+// accounting-first: a tenant never configured still gets its own
+// semaphore and counters.
+func (a *admission) tenantFor(name string) *tenant {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t, ok := a.tenants[name]; ok {
+		return t
+	}
+	limits := a.defaults
+	if o, ok := a.overrides[name]; ok {
+		limits = o
+	}
+	t := &tenant{name: name, limits: limits}
+	if limits.MaxConcurrent > 0 {
+		t.sem = make(chan struct{}, limits.MaxConcurrent)
+	}
+	a.tenants[name] = t
+	return t
+}
+
+// statsByTenant snapshots every known tenant's counters.
+func (a *admission) statsByTenant() map[string]TenantStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]TenantStats, len(a.tenants))
+	for name, t := range a.tenants {
+		out[name] = t.stats()
+	}
+	return out
+}

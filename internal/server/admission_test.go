@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/datalog"
+)
+
+func TestLimitsClampOptions(t *testing.T) {
+	cases := []struct {
+		name      string
+		limits    Limits
+		in        datalog.Options
+		wantGas   int64
+		wantFacts int
+	}{
+		{"zero limits leave options alone",
+			Limits{}, datalog.Options{MaxDerivations: 7, MaxFacts: 9}, 7, 9},
+		{"unset request options take the tenant cap",
+			Limits{MaxDerivations: 100, MaxFacts: 50}, datalog.Options{}, 100, 50},
+		{"looser request options are clamped down",
+			Limits{MaxDerivations: 100, MaxFacts: 50}, datalog.Options{MaxDerivations: 1000, MaxFacts: 500}, 100, 50},
+		{"stricter request options are kept",
+			Limits{MaxDerivations: 100, MaxFacts: 50}, datalog.Options{MaxDerivations: 10, MaxFacts: 5}, 10, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.in
+			tc.limits.clampOptions(&o)
+			if o.MaxDerivations != tc.wantGas {
+				t.Errorf("MaxDerivations = %d, want %d", o.MaxDerivations, tc.wantGas)
+			}
+			if o.MaxFacts != tc.wantFacts {
+				t.Errorf("MaxFacts = %d, want %d", o.MaxFacts, tc.wantFacts)
+			}
+		})
+	}
+}
+
+func TestLimitsRequestContext(t *testing.T) {
+	deadlineIn := func(l Limits, asked time.Duration) (time.Duration, bool) {
+		ctx, cancel := l.requestContext(context.Background(), asked)
+		defer cancel()
+		dl, ok := ctx.Deadline()
+		if !ok {
+			return 0, false
+		}
+		return time.Until(dl), true
+	}
+
+	if _, ok := deadlineIn(Limits{}, 0); ok {
+		t.Error("no bounds should mean no deadline")
+	}
+	if d, ok := deadlineIn(Limits{Timeout: time.Hour}, 0); !ok || d > time.Hour {
+		t.Errorf("tenant bound alone: deadline in %v, ok=%v", d, ok)
+	}
+	// The request may ask for less than the tenant bound, never for more.
+	if d, ok := deadlineIn(Limits{Timeout: time.Hour}, time.Second); !ok || d > time.Second {
+		t.Errorf("tighter ask should win: deadline in %v, ok=%v", d, ok)
+	}
+	if d, ok := deadlineIn(Limits{Timeout: time.Second}, time.Hour); !ok || d > 2*time.Second {
+		t.Errorf("looser ask must be clamped to tenant bound: deadline in %v, ok=%v", d, ok)
+	}
+	// TimeoutMillis is the JSON face of Timeout.
+	if d, ok := deadlineIn(Limits{TimeoutMillis: 1000}, 0); !ok || d > time.Second {
+		t.Errorf("TimeoutMillis bound: deadline in %v, ok=%v", d, ok)
+	}
+}
+
+func TestTenantAdmit(t *testing.T) {
+	adm := newAdmission(Limits{}, map[string]Limits{"locked": {MaxConcurrent: 2}})
+	tn := adm.tenantFor("locked")
+
+	rel1, err := tn.admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := tn.admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.admit(); err == nil {
+		t.Fatal("third admit should be rejected at MaxConcurrent=2")
+	}
+	rel1()
+	rel1() // release is idempotent: double-release must not free a second slot
+	rel3, err := tn.admit()
+	if err != nil {
+		t.Fatalf("admit after one release: %v", err)
+	}
+	if _, err := tn.admit(); err == nil {
+		t.Fatal("the double release leaked a slot")
+	}
+	rel2()
+	rel3()
+
+	st := tn.stats()
+	if st.Admitted != 3 || st.Rejected != 2 || st.Active != 0 {
+		t.Errorf("stats = %+v, want admitted=3 rejected=2 active=0", st)
+	}
+
+	// An unconfigured tenant gets the defaults (here: unlimited) and its own
+	// counters.
+	other := adm.tenantFor("other")
+	if other.sem != nil {
+		t.Error("default tenant should have no semaphore")
+	}
+	if adm.tenantFor("other") != other {
+		t.Error("tenant state should be created once and reused")
+	}
+	if _, ok := adm.statsByTenant()["other"]; !ok {
+		t.Error("statsByTenant should include every tenant seen")
+	}
+}

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Serving-layer smoke: boot datalogd, fire a datalogbench burst at it,
+# assert non-zero error-free throughput, and check the server shuts down
+# cleanly on SIGTERM. `make loadtest` runs this locally; CI runs it as the
+# serving smoke step.
+set -eu
+
+ADDR=${ADDR:-127.0.0.1:8357}
+CLIENTS=${CLIENTS:-4}
+DURATION=${DURATION:-3s}
+CHAIN=${CHAIN:-100}
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/datalogd" ./cmd/datalogd
+go build -o "$workdir/datalogbench" ./cmd/datalogbench
+
+"$workdir/datalogd" -addr "$ADDR" -max-concurrent 64 -timeout 10s \
+    > "$workdir/datalogd.log" 2>&1 &
+server_pid=$!
+
+"$workdir/datalogbench" -addr "http://$ADDR" -clients "$CLIENTS" \
+    -duration "$DURATION" -chain "$CHAIN" -out "$workdir/bench_serving.json"
+
+# datalogbench already fails when nothing completed; additionally refuse any
+# failed request in the burst.
+if grep -E '"errors": [1-9]' "$workdir/bench_serving.json"; then
+    echo "loadtest: requests failed during the burst" >&2
+    cat "$workdir/datalogd.log" >&2
+    exit 1
+fi
+echo "loadtest: burst completed error-free:"
+cat "$workdir/bench_serving.json"
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+if ! grep -q "shutdown clean" "$workdir/datalogd.log"; then
+    echo "loadtest: server did not shut down cleanly:" >&2
+    cat "$workdir/datalogd.log" >&2
+    exit 1
+fi
+echo "loadtest: clean shutdown confirmed"
