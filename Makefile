@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test race vet fmt-check staticcheck vulncheck bench bench-json bench-compare quickstart serve loadtest ci
+.PHONY: build test race vet fmt-check staticcheck vulncheck bench bench-json bench-compare quickstart serve loadtest crashtest fuzz ci
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,12 @@ test:
 # Focused race gate for the snapshot/txn/materialize/parallel-eval surface:
 # the packages where lock-free snapshot readers, COW relations, commit-time
 # view maintenance, the parallel fixpoint worker pool, the memoizing
-# top-down interpreter and the concurrent HTTP serving layer meet. `make
-# test` already runs everything under -race; this target is the quick loop
-# while working on that surface.
+# top-down interpreter, the WAL (commit appends vs the background fsync and
+# checkpoint loops) and the concurrent HTTP serving layer meet. `make test`
+# already runs everything under -race; this target is the quick loop while
+# working on that surface.
 race:
-	$(GO) test -race ./datalog/ ./internal/database/ ./internal/eval/ ./internal/topdown/ ./internal/server/
+	$(GO) test -race ./datalog/ ./internal/database/ ./internal/eval/ ./internal/topdown/ ./internal/wal/ ./internal/server/
 
 vet:
 	$(GO) vet ./...
@@ -87,4 +88,21 @@ serve:
 loadtest:
 	./scripts/loadtest.sh
 
-ci: build test vet staticcheck vulncheck fmt-check bench-json quickstart loadtest
+# Crash-recovery oracle at CI strength: CRASH_ITERS child processes are
+# SIGKILLed at randomized points mid-commit/mid-checkpoint and every
+# recovered store must equal the deterministic prefix of acknowledged
+# commits (datalog/crash_test.go; `go test ./datalog/` runs a lighter 8).
+CRASH_ITERS ?= 50
+crashtest:
+	CRASH_ITERS=$(CRASH_ITERS) $(GO) test -race -run TestCrashRecovery -count=1 ./datalog/
+
+# Bounded fuzz pass over the WAL record and checkpoint decoders: corrupt
+# input must always surface as a clean ErrCorruptLog, never a panic or an
+# overallocation. The seeded corpus (valid frames + bit flips) runs as part
+# of the normal test suite; this target adds coverage-guided time.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzReadCheckpoint -fuzztime $(FUZZTIME) ./internal/wal/
+
+ci: build test vet staticcheck vulncheck fmt-check crashtest bench-json quickstart loadtest

@@ -727,6 +727,124 @@ func BenchmarkBatchAssert(b *testing.B) {
 	})
 }
 
+// BenchmarkWALCommit measures what durability costs on the batch write
+// path: one 10k-fact transaction per op, committed against a memory-only
+// database (the zero-cost default — no Backend, no extra branches taken)
+// and against a WAL-backed one under each fsync policy. fsync=always pays
+// one encode + write + fsync per commit; fsync=interval decouples the
+// fsync onto the background ticker and must land within 2× of
+// memory-only; fsync=none isolates the pure encode + buffered-write tax.
+func BenchmarkWALCommit(b *testing.B) {
+	const nFacts = 10_000
+	commit := func(b *testing.B, db *datalog.Database, round int) {
+		b.Helper()
+		txn := db.Begin()
+		for j := 0; j < nFacts; j++ {
+			if err := txn.Assert("edge", fmt.Sprintf("r%d_%d", round, j), fmt.Sprintf("r%d_%d", round, j+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("memory-only", func(b *testing.B) {
+		db := datalog.NewDatabase()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			commit(b, db, i)
+		}
+		b.ReportMetric(nFacts, "facts/commit")
+	})
+	for _, policy := range []string{datalog.FsyncAlways, datalog.FsyncInterval, datalog.FsyncNone} {
+		b.Run("wal-fsync="+policy, func(b *testing.B) {
+			db, err := datalog.Open(b.TempDir(), datalog.OpenOptions{Fsync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				commit(b, db, i)
+			}
+			b.StopTimer()
+			if ds, ok := db.DurabilityStats(); ok {
+				b.ReportMetric(float64(ds.Fsyncs)/float64(b.N), "fsyncs/commit")
+			}
+			b.ReportMetric(nFacts, "facts/commit")
+		})
+	}
+}
+
+// BenchmarkRecovery measures startup over a 100k-record log, the scenario
+// checkpoints exist for. Both variants replay the same committed history
+// (100k single-fact commits over 1MiB segments); "replay-log" recovers by
+// decoding and re-applying every record, "from-checkpoint" loads the
+// snapshot the final checkpoint published and replays only the (empty)
+// suffix past it — the gap between the two is the boot-time cost
+// -checkpoint-every amortizes away.
+func BenchmarkRecovery(b *testing.B) {
+	const nRecords = 100_000
+	build := func(b *testing.B, checkpoint bool) string {
+		b.Helper()
+		dir := b.TempDir()
+		db, err := datalog.Open(dir, datalog.OpenOptions{Fsync: datalog.FsyncNone, SegmentBytes: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < nRecords; k++ {
+			txn := db.Begin()
+			if err := txn.Assert("e", fmt.Sprintf("n%d", k), fmt.Sprintf("n%d", k+1)); err != nil {
+				b.Fatal(err)
+			}
+			if err := txn.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if checkpoint {
+			if err := db.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	for _, variant := range []struct {
+		name       string
+		checkpoint bool
+	}{
+		{"replay-log", false},
+		{"from-checkpoint", true},
+	} {
+		b.Run(fmt.Sprintf("%s/records=%d", variant.name, nRecords), func(b *testing.B) {
+			dir := build(b, variant.checkpoint)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var replayed int
+			for i := 0; i < b.N; i++ {
+				db, err := datalog.Open(dir, datalog.OpenOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := db.Version(); got != nRecords {
+					b.Fatalf("recovered version %d, want %d", got, nRecords)
+				}
+				if ds, ok := db.DurabilityStats(); ok {
+					replayed = ds.ReplayedRecords
+				}
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(replayed), "replayed-records")
+		})
+	}
+}
+
 // BenchmarkSnapshotOverhead measures what a per-request pinned view costs:
 // taking a snapshot of a 10k-fact database and answering one prepared
 // point query on it, versus the same query on the live engine.

@@ -10,9 +10,17 @@
 //	datalogbench -addr http://localhost:8344 -clients 8 -duration 10s \
 //	    -mix 70,20,10 -out BENCH_serving.json
 //
+// The -mix flag takes either three positional percentages (query,stream,txn)
+// or named components; ops left unnamed get weight zero. The named form is
+// how the write-heavy profile drives a WAL-backed server, measuring
+// durable-commit throughput rather than the in-memory read path:
+//
+//	datalogd -addr :8344 -data-dir /var/lib/datalogd -fsync always &
+//	datalogbench -mix txn=90,query=10 -txn-batch 16 -out BENCH_wal.json
+//
 // The generator is self-seeding: it uploads the ancestor program, seeds a
 // par-chain, prepares a query handle, then runs the mix — parameterized
-// point queries on the prepared handle, NDJSON streams, and single-fact
+// point queries on the prepared handle, NDJSON streams, and -txn-batch-fact
 // transactions. Every request uses tenant "bench".
 package main
 
@@ -77,29 +85,20 @@ func run() error {
 		addr     = flag.String("addr", "http://localhost:8344", "datalogd base URL")
 		clients  = flag.Int("clients", 8, "concurrent clients")
 		duration = flag.Duration("duration", 5*time.Second, "load duration")
-		mix      = flag.String("mix", "70,20,10", "percentage mix query,stream,txn")
+		mix      = flag.String("mix", "70,20,10", "workload mix: positional percentages query,stream,txn or named (e.g. txn=90,query=10)")
+		txnBatch = flag.Int("txn-batch", 1, "facts per transaction (write-heavy profiles batch their commits)")
 		chain    = flag.Int("chain", 200, "length of the seeded par-chain")
 		outPath  = flag.String("out", "", "write benchjson records here (default: stdout)")
 		name     = flag.String("name", "BenchmarkServingLoad", "benchmark name prefix in the JSON record")
 	)
 	flag.Parse()
 
-	var weights [numOps]int
-	parts := strings.Split(*mix, ",")
-	if len(parts) != numOps {
-		return fmt.Errorf("-mix wants %d comma-separated percentages, got %q", numOps, *mix)
+	weights, total, err := parseMix(*mix)
+	if err != nil {
+		return err
 	}
-	total := 0
-	for i, p := range parts {
-		n, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || n < 0 {
-			return fmt.Errorf("-mix component %q is not a non-negative integer", p)
-		}
-		weights[i] = n
-		total += n
-	}
-	if total == 0 {
-		return fmt.Errorf("-mix is all zeros")
+	if *txnBatch < 1 {
+		return fmt.Errorf("-txn-batch must be at least 1, got %d", *txnBatch)
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -136,6 +135,7 @@ func run() error {
 				addr:     *addr,
 				prepared: preparedID,
 				chain:    *chain,
+				batch:    *txnBatch,
 				id:       c,
 				rng:      rng,
 			}
@@ -174,6 +174,50 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(results), *outPath)
 	return nil
+}
+
+// parseMix parses the -mix flag: either exactly numOps positional
+// percentages ("70,20,10") or any subset of named components
+// ("txn=90,query=10"); the two forms don't combine, and unnamed ops weigh
+// zero in the named form.
+func parseMix(mix string) ([numOps]int, int, error) {
+	var weights [numOps]int
+	parts := strings.Split(mix, ",")
+	named := strings.Contains(mix, "=")
+	if !named && len(parts) != numOps {
+		return weights, 0, fmt.Errorf("-mix wants %d comma-separated percentages or name=pct components, got %q", numOps, mix)
+	}
+	total := 0
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		op := i
+		if named {
+			key, val, ok := strings.Cut(p, "=")
+			if !ok {
+				return weights, 0, fmt.Errorf("-mix mixes positional and named components at %q", p)
+			}
+			op = -1
+			for k, name := range opNames {
+				if name == strings.TrimSpace(key) {
+					op = k
+				}
+			}
+			if op < 0 {
+				return weights, 0, fmt.Errorf("-mix names unknown op %q (ops: %s)", key, strings.Join(opNames[:], ", "))
+			}
+			p = strings.TrimSpace(val)
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return weights, 0, fmt.Errorf("-mix component %q is not a non-negative integer", p)
+		}
+		weights[op] += n
+		total += n
+	}
+	if total == 0 {
+		return weights, 0, fmt.Errorf("-mix is all zeros")
+	}
+	return weights, total, nil
 }
 
 // pick draws an op kind from the weighted mix.
@@ -267,6 +311,7 @@ type worker struct {
 	addr     string
 	prepared string
 	chain    int
+	batch    int
 	id       int
 	seq      int
 	rng      *rand.Rand
@@ -342,15 +387,18 @@ func (w *worker) stream() error {
 	return fmt.Errorf("stream ended without a terminal event")
 }
 
-// txn appends one fact to the worker's private side chain.
+// txn appends -txn-batch facts to the worker's private side chain in one
+// atomic commit — against a WAL-backed server, one durably-logged record.
 func (w *worker) txn() error {
-	w.seq++
-	return postJSON(w.client, w.addr+"/v1/txn", "bench", map[string]any{
-		"asserts": []map[string]any{{
+	asserts := make([]map[string]any, w.batch)
+	for i := range asserts {
+		w.seq++
+		asserts[i] = map[string]any{
 			"pred": "side",
 			"args": []any{fmt.Sprintf("c%d_%d", w.id, w.seq), fmt.Sprintf("c%d_%d", w.id, w.seq+1)},
-		}},
-	}, nil)
+		}
+	}
+	return postJSON(w.client, w.addr+"/v1/txn", "bench", map[string]any{"asserts": asserts}, nil)
 }
 
 // summarize turns the samples into one benchjson record per op kind plus an

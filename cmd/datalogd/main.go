@@ -55,6 +55,10 @@ func run() error {
 		maxFacts       = flag.Int("max-facts", 0, "per-request derived-fact cap (0 = unlimited)")
 		timeout        = flag.Duration("timeout", 0, "per-request wall-clock bound (0 = unlimited)")
 		maxBody        = flag.Int64("max-body-bytes", 0, "request body cap in bytes (0 = 8MiB default)")
+
+		dataDir         = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty = memory-only)")
+		fsync           = flag.String("fsync", "always", "WAL fsync policy: always | interval | none")
+		checkpointEvery = flag.Uint64("checkpoint-every", 0, "write an automatic checkpoint every N commits (0 = only at shutdown)")
 	)
 	flag.Parse()
 
@@ -77,22 +81,47 @@ func run() error {
 		}
 	}
 
-	db := datalog.NewDatabase()
-	srv := server.New(db, cfg)
-
-	if *factsPath != "" {
-		data, err := os.ReadFile(*factsPath)
+	var db *datalog.Database
+	if *dataDir != "" {
+		var err error
+		db, err = datalog.Open(*dataDir, datalog.OpenOptions{
+			Fsync:           *fsync,
+			CheckpointEvery: *checkpointEvery,
+		})
 		if err != nil {
 			return err
 		}
-		txn := db.Begin()
-		if err := txn.AssertText(string(data)); err != nil {
-			return fmt.Errorf("seeding %s: %w", *factsPath, err)
+		if s, ok := db.DurabilityStats(); ok {
+			log.Printf("opened %s: recovered version %d (%d records replayed in %.1fms, fsync=%s)",
+				*dataDir, s.RecoveredVersion, s.ReplayedRecords, s.ReplayMillis, *fsync)
+			if s.TornTailRecovered {
+				log.Printf("torn log tail discarded (crash mid-write recovered)")
+			}
 		}
-		if err := txn.Commit(); err != nil {
-			return err
+	} else {
+		db = datalog.NewDatabase()
+	}
+	srv := server.New(db, cfg)
+
+	if *factsPath != "" {
+		if db.Version() > 0 {
+			// A recovered durable database already holds its committed
+			// facts; re-seeding would log a duplicate batch per restart.
+			log.Printf("skipping -facts %s: %s already holds version %d", *factsPath, *dataDir, db.Version())
+		} else {
+			data, err := os.ReadFile(*factsPath)
+			if err != nil {
+				return err
+			}
+			txn := db.Begin()
+			if err := txn.AssertText(string(data)); err != nil {
+				return fmt.Errorf("seeding %s: %w", *factsPath, err)
+			}
+			if err := txn.Commit(); err != nil {
+				return err
+			}
+			log.Printf("seeded %d facts from %s (version %d)", db.TotalFacts(), *factsPath, db.Version())
 		}
-		log.Printf("seeded %d facts from %s (version %d)", db.TotalFacts(), *factsPath, db.Version())
 	}
 	if *programPath != "" {
 		data, err := os.ReadFile(*programPath)
@@ -135,6 +164,20 @@ func run() error {
 		}
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
+		}
+		// With a durable backend: checkpoint the final state (so the next
+		// boot loads a snapshot instead of replaying the whole log) and seal
+		// the log cleanly. In-flight commits finished with Shutdown above.
+		if _, ok := db.DurabilityStats(); ok {
+			if err := db.Checkpoint(); err != nil {
+				return fmt.Errorf("final checkpoint: %w", err)
+			}
+			if err := db.Close(); err != nil {
+				return fmt.Errorf("sealing log: %w", err)
+			}
+			if s, sok := db.DurabilityStats(); sok {
+				log.Printf("sealed %s at version %d (checkpoint %d)", *dataDir, db.Version(), s.LastCheckpointVersion)
+			}
 		}
 		log.Printf("shutdown clean")
 		return nil

@@ -37,6 +37,18 @@ type Database struct {
 	// their write-lock critical section, and queries of the registered
 	// program answer from the stored IDB by pure lookup.
 	mat *materialization
+	// backend is the durability backend (see Open): commits are appended to
+	// it before they mutate the store. nil — the NewDatabase default — is
+	// the memory-only path, with zero cost on the commit path.
+	backend Backend
+	closed  bool
+	// Automatic checkpointing (OpenOptions.CheckpointEvery): the commit path
+	// signals ckptCh when the log outgrows the last checkpoint by ckptEvery
+	// commits, and a background goroutine runs Checkpoint outside the lock.
+	ckptEvery uint64
+	ckptCh    chan struct{}
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
 }
 
 // NewDatabase returns an empty fact database at version 0, with a fresh

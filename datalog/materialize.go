@@ -204,21 +204,37 @@ func (e *Engine) Materialize() error { return e.db.Materialize(e.prog.Load()) }
 // commit without its derived consequences. Callers hold db.mu.
 func (db *Database) applyBatchLocked(retracts, asserts []ast.Atom) error {
 	mat := db.mat
+	if mat != nil {
+		for _, a := range retracts {
+			if mat.derived[a.PredKey()] {
+				return fmt.Errorf("datalog: cannot retract %s: predicate is derived by the materialized program", a.PredKey())
+			}
+		}
+		for _, a := range asserts {
+			if mat.derived[a.PredKey()] {
+				return fmt.Errorf("datalog: cannot assert %s: predicate is derived by the materialized program", a.PredKey())
+			}
+		}
+	}
+	// Write-ahead step: the batch is validated (the exact checks Apply runs)
+	// and appended + fsynced to the backend before the store mutates, so an
+	// acknowledged commit is durable and a logged record can never fail to
+	// apply on replay. The record's version is the version this commit will
+	// establish — Apply bumps exactly once per batch.
+	if db.backend != nil {
+		if err := db.store.ValidateBatch(retracts, asserts); err != nil {
+			return fmt.Errorf("datalog: %w", err)
+		}
+		if err := db.backend.appendCommit(db.store.Version()+1, retracts, asserts); err != nil {
+			return err
+		}
+		defer db.maybeScheduleCheckpointLocked()
+	}
 	if mat == nil {
 		if _, _, err := db.store.Apply(retracts, asserts); err != nil {
 			return fmt.Errorf("datalog: %w", err)
 		}
 		return nil
-	}
-	for _, a := range retracts {
-		if mat.derived[a.PredKey()] {
-			return fmt.Errorf("datalog: cannot retract %s: predicate is derived by the materialized program", a.PredKey())
-		}
-	}
-	for _, a := range asserts {
-		if mat.derived[a.PredKey()] {
-			return fmt.Errorf("datalog: cannot assert %s: predicate is derived by the materialized program", a.PredKey())
-		}
 	}
 	minus, plus, _, _, err := db.store.ApplyDelta(retracts, asserts)
 	if err != nil {

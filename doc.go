@@ -42,8 +42,22 @@
 // materialized predicates, live or snapshot-pinned, skip evaluation
 // entirely and answer by index lookup (Stats.MaterializedHit); maintenance
 // cost is proportional to the batch's consequences, not the database (see
-// EXPERIMENTS.md). ARCHITECTURE.md is the map of how all of this fits
-// together, stage by stage and package by package.
+// EXPERIMENTS.md).
+//
+// datalog.Open(dir, opts) makes the same Database durable: every committed
+// batch is appended to a CRC-framed write-ahead log (internal/wal) and
+// fsynced before the in-memory store mutates, checkpoints snapshot the full
+// EDB and truncate the log behind them, and reopening the directory replays
+// back to the exact committed version — tolerating the torn record a crash
+// mid-append leaves at the log tail. The fsync policy (always/interval/none)
+// trades the acknowledgment guarantee against batch-write throughput;
+// NewDatabase remains the zero-cost memory-only default. A SIGKILL crash
+// harness (datalog/crash_test.go, `make crashtest`) holds recovery to a
+// differential oracle: acknowledged commits are never lost and the
+// recovered store equals the attempted prefix exactly. cmd/datalogd serves
+// all of this over HTTP (-data-dir, -fsync, -checkpoint-every), and
+// ARCHITECTURE.md is the map of how everything fits together, stage by
+// stage and package by package.
 //
 // Compilation is also the static-analysis gate: every source position
 // survives parsing (internal/parser reports line:col on every error), and

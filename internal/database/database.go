@@ -1205,6 +1205,19 @@ func (s *Store) Reset() {
 // taken at.
 func (s *Store) Version() uint64 { return s.version }
 
+// SetVersion overrides the store's commit version. It exists for crash
+// recovery only: after loading a checkpoint captured at version V, the
+// recovery path sets the version to V so that replaying the log's post-V
+// records — each of which bumps the version exactly once via Apply —
+// re-establishes the exact pre-crash committed version. Outside recovery
+// the version is advanced solely by Apply.
+func (s *Store) SetVersion(v uint64) {
+	if s.base != nil || s.pinned {
+		panic("database: SetVersion on an overlay or pinned store")
+	}
+	s.version = v
+}
+
 // Pinned reports whether the store is an immutable snapshot view.
 func (s *Store) Pinned() bool { return s.pinned }
 
@@ -1313,20 +1326,22 @@ func netDelta(minus, plus *Store) {
 	}
 }
 
-// applyBatch implements Apply/ApplyDelta; minus and plus, when non-nil,
-// capture the effective retract and assert deltas.
-func (s *Store) applyBatch(retracts, asserts []ast.Atom, minus, plus *Store) (removed, added int, err error) {
-	if s.base != nil {
-		return 0, 0, fmt.Errorf("Apply on an overlay store")
-	}
-	if s.pinned {
-		return 0, 0, fmt.Errorf("Apply on a pinned snapshot store")
-	}
+// ValidateBatch runs the same validation pass Apply runs before its first
+// mutation — groundness, arity consistency within the batch and against
+// existing relations — without touching the store. The durability layer
+// calls it before appending a batch to the write-ahead log, so only batches
+// Apply will accept are ever logged (a logged batch failing on replay would
+// be unrecoverable corruption).
+func (s *Store) ValidateBatch(retracts, asserts []ast.Atom) error {
+	_, err := s.validateBatch(retracts, asserts)
+	return err
+}
 
-	// Validation pass: nothing below may mutate the store until every atom of
-	// the batch has been checked, so a mid-batch error cannot leave a prefix
-	// committed. Batches touch few distinct predicates, so the batch-local
-	// arity record is a small linear-scanned slice, not a map.
+// validateBatch checks every atom of a batch without mutating the store; it
+// also reports whether all asserts target a single predicate (the bulk-load
+// fast path). Batches touch few distinct predicates, so the batch-local
+// arity record is a small linear-scanned slice, not a map.
+func (s *Store) validateBatch(retracts, asserts []ast.Atom) (singlePred bool, err error) {
 	type predArity struct {
 		key   string
 		arity int
@@ -1363,20 +1378,40 @@ func (s *Store) applyBatch(retracts, asserts []ast.Atom, minus, plus *Store) (re
 	// asserts are then held to — the per-fact path accepts that sequence too.
 	for _, a := range retracts {
 		if !ast.IsGroundAtom(a) {
-			return 0, 0, fmt.Errorf("fact %s is not ground", a)
+			return false, fmt.Errorf("fact %s is not ground", a)
 		}
 		if r, exists := s.relations[a.PredKey()]; exists && len(a.Args) != r.Arity {
-			return 0, 0, fmt.Errorf("fact %s has arity %d, relation %s has arity %d", a, len(a.Args), a.PredKey(), r.Arity)
+			return false, fmt.Errorf("fact %s has arity %d, relation %s has arity %d", a, len(a.Args), a.PredKey(), r.Arity)
 		}
 	}
-	singlePred := true
+	singlePred = true
 	for i, a := range asserts {
 		if err := arityOf(a); err != nil {
-			return 0, 0, err
+			return false, err
 		}
 		if i > 0 && a.PredKey() != asserts[0].PredKey() {
 			singlePred = false
 		}
+	}
+	return singlePred, nil
+}
+
+// applyBatch implements Apply/ApplyDelta; minus and plus, when non-nil,
+// capture the effective retract and assert deltas.
+func (s *Store) applyBatch(retracts, asserts []ast.Atom, minus, plus *Store) (removed, added int, err error) {
+	if s.base != nil {
+		return 0, 0, fmt.Errorf("Apply on an overlay store")
+	}
+	if s.pinned {
+		return 0, 0, fmt.Errorf("Apply on a pinned snapshot store")
+	}
+
+	// Validation pass: nothing below may mutate the store until every atom of
+	// the batch has been checked, so a mid-batch error cannot leave a prefix
+	// committed.
+	singlePred, err := s.validateBatch(retracts, asserts)
+	if err != nil {
+		return 0, 0, err
 	}
 
 	// Mutation pass: all-or-nothing from here on (no error paths remain that

@@ -531,7 +531,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	programs, prepared, def := len(s.programs), len(s.prepared), s.defaultProgram
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Database: DatabaseStats{
 			Version:    s.db.Version(),
@@ -541,5 +541,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Prepared:       prepared,
 		DefaultProgram: def,
 		Tenants:        s.adm.statsByTenant(),
-	})
+	}
+	if ds, ok := s.db.DurabilityStats(); ok {
+		resp.Durability = &ds
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

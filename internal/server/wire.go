@@ -188,12 +188,16 @@ type DatabaseStats struct {
 	TotalFacts int    `json:"total_facts"`
 }
 
-// StatsResponse is the GET /v1/stats payload.
+// StatsResponse is the GET /v1/stats payload. Durability is present only
+// when the server's database runs a durable backend (datalogd -data-dir):
+// WAL records/bytes/fsyncs, recovery and checkpoint state
+// (datalog.DurabilityStats).
 type StatsResponse struct {
-	UptimeSeconds  float64                `json:"uptime_seconds"`
-	Database       DatabaseStats          `json:"database"`
-	Programs       int                    `json:"programs"`
-	Prepared       int                    `json:"prepared"`
-	DefaultProgram string                 `json:"default_program,omitempty"`
-	Tenants        map[string]TenantStats `json:"tenants"`
+	UptimeSeconds  float64                  `json:"uptime_seconds"`
+	Database       DatabaseStats            `json:"database"`
+	Programs       int                      `json:"programs"`
+	Prepared       int                      `json:"prepared"`
+	DefaultProgram string                   `json:"default_program,omitempty"`
+	Tenants        map[string]TenantStats   `json:"tenants"`
+	Durability     *datalog.DurabilityStats `json:"durability,omitempty"`
 }

@@ -1,0 +1,267 @@
+// Checkpoint files: a full EDB snapshot at one version, written streaming
+// to a temp file and atomically renamed into place.
+//
+// Layout:
+//
+//	magic    "DLCKPT1\n" (8 bytes)
+//	payload  uvarint version
+//	         uvarint #relations
+//	         per relation: string name, uvarint arity, uvarint #rows,
+//	                       rows as arity consecutive terms each
+//	trailer  crc32 (4 bytes LE) over the payload
+//
+// Strings and terms use the same binary encoding as log records. The
+// trailer CRC makes a torn checkpoint (crash mid-rename never produces one,
+// but disk corruption can) detectable: ReadCheckpoint verifies it before
+// decoding anything.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ast"
+)
+
+var checkpointMagic = []byte("DLCKPT1\n")
+
+// CheckpointWriter streams one checkpoint to a temp file. Write the
+// relations with Relation/Row, then call Commit to make it durable and
+// visible; Abort discards it. A writer is single-goroutine.
+type CheckpointWriter struct {
+	log     *Log
+	version uint64
+	tmp     string
+	final   string
+	f       *os.File
+	bw      *bufio.Writer
+	crc     uint32
+	buf     []byte
+
+	relsDeclared int
+	relsWritten  int
+	rowsLeft     int
+	arity        int
+	done         bool
+}
+
+// BeginCheckpoint starts writing a checkpoint capturing the store at
+// version. relations is the exact number of relations that will follow.
+func (l *Log) BeginCheckpoint(version uint64, relations int) (*CheckpointWriter, error) {
+	final := l.checkpointPath(version)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create checkpoint temp file: %w", err)
+	}
+	w := &CheckpointWriter{
+		log:          l,
+		version:      version,
+		tmp:          tmp,
+		final:        final,
+		f:            f,
+		bw:           bufio.NewWriterSize(f, 1<<20),
+		relsDeclared: relations,
+	}
+	if _, err := w.bw.Write(checkpointMagic); err != nil {
+		w.Abort()
+		return nil, fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	w.buf = appendUvarint(w.buf[:0], version)
+	w.buf = appendUvarint(w.buf, uint64(relations))
+	if err := w.payload(w.buf); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	return w, nil
+}
+
+// payload writes payload bytes, folding them into the running CRC.
+func (w *CheckpointWriter) payload(p []byte) error {
+	w.crc = crc32.Update(w.crc, crcTable, p)
+	if _, err := w.bw.Write(p); err != nil {
+		return fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Relation begins the next relation: its store key (PredKey form), tuple
+// width, and exact row count.
+func (w *CheckpointWriter) Relation(name string, arity, rows int) error {
+	if w.rowsLeft != 0 {
+		return fmt.Errorf("wal: checkpoint relation started with %d rows of the previous one unwritten", w.rowsLeft)
+	}
+	if w.relsWritten >= w.relsDeclared {
+		return fmt.Errorf("wal: checkpoint declared %d relations, got more", w.relsDeclared)
+	}
+	w.relsWritten++
+	w.rowsLeft = rows
+	w.arity = arity
+	w.buf = appendString(w.buf[:0], name)
+	w.buf = appendUvarint(w.buf, uint64(arity))
+	w.buf = appendUvarint(w.buf, uint64(rows))
+	return w.payload(w.buf)
+}
+
+// Row writes one tuple of the current relation.
+func (w *CheckpointWriter) Row(terms []ast.Term) error {
+	if w.rowsLeft <= 0 {
+		return fmt.Errorf("wal: checkpoint row past the declared count")
+	}
+	if len(terms) != w.arity {
+		return fmt.Errorf("wal: checkpoint row width %d, relation arity %d", len(terms), w.arity)
+	}
+	w.rowsLeft--
+	w.buf = w.buf[:0]
+	for _, t := range terms {
+		w.buf = appendTerm(w.buf, t)
+	}
+	return w.payload(w.buf)
+}
+
+// Commit finalizes the checkpoint: CRC trailer, fsync, atomic rename,
+// directory fsync. After Commit returns nil the checkpoint is the one
+// recovery will load, and log segments ≤ its version may be truncated.
+func (w *CheckpointWriter) Commit() error {
+	if w.done {
+		return fmt.Errorf("wal: checkpoint writer already finished")
+	}
+	if w.rowsLeft != 0 || w.relsWritten != w.relsDeclared {
+		w.Abort()
+		return fmt.Errorf("wal: checkpoint incomplete: %d/%d relations, %d rows missing",
+			w.relsWritten, w.relsDeclared, w.rowsLeft)
+	}
+	w.done = true
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], w.crc)
+	if _, err := w.bw.Write(trailer[:]); err != nil {
+		w.abortFile()
+		return fmt.Errorf("wal: write checkpoint trailer: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.abortFile()
+		return fmt.Errorf("wal: flush checkpoint: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.abortFile()
+		return fmt.Errorf("wal: fsync checkpoint: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+	if err := os.Rename(w.tmp, w.final); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("wal: publish checkpoint: %w", err)
+	}
+	if err := syncDir(filepath.Dir(w.final)); err != nil {
+		return err
+	}
+	w.log.mu.Lock()
+	if w.version > w.log.lastCheckpoint {
+		w.log.lastCheckpoint = w.version
+	}
+	w.log.mu.Unlock()
+	return nil
+}
+
+// Abort discards an unfinished checkpoint.
+func (w *CheckpointWriter) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.abortFile()
+}
+
+func (w *CheckpointWriter) abortFile() {
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+// CheckpointRelation is one relation of a decoded checkpoint.
+type CheckpointRelation struct {
+	// Name is the store key (PredKey form: "anc" or "sg^bf").
+	Name  string
+	Arity int
+	Rows  [][]ast.Term
+}
+
+// ReadCheckpoint decodes a checkpoint file, delivering each relation to fn
+// in file order, and returns the version it captures. The CRC trailer is
+// verified before anything is decoded; any failure is a *CorruptError.
+func ReadCheckpoint(path string, fn func(rel CheckpointRelation) error) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: read checkpoint: %w", err)
+	}
+	if len(data) < len(checkpointMagic)+4 {
+		return 0, &CorruptError{Path: path, Offset: 0, Reason: "checkpoint shorter than magic + trailer"}
+	}
+	if string(data[:len(checkpointMagic)]) != string(checkpointMagic) {
+		return 0, &CorruptError{Path: path, Offset: 0, Reason: "bad checkpoint magic"}
+	}
+	payload := data[len(checkpointMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return 0, &CorruptError{Path: path, Offset: int64(len(data) - 4), Reason: "checkpoint CRC mismatch"}
+	}
+	d := &decoder{data: payload, base: int64(len(checkpointMagic)), path: path}
+	version, err := d.uvarint("checkpoint version")
+	if err != nil {
+		return 0, err
+	}
+	nRels, err := d.uvarint("relation count")
+	if err != nil {
+		return 0, err
+	}
+	if nRels > uint64(d.remaining()+1) {
+		return 0, d.fail(fmt.Sprintf("relation count %d exceeds remaining %d bytes", nRels, d.remaining()))
+	}
+	for i := uint64(0); i < nRels; i++ {
+		name, err := d.string("relation name")
+		if err != nil {
+			return 0, err
+		}
+		arity, err := d.uvarint("relation arity")
+		if err != nil {
+			return 0, err
+		}
+		nRows, err := d.uvarint("row count")
+		if err != nil {
+			return 0, err
+		}
+		// Every row costs at least arity tag bytes (or 1 for arity 0 is
+		// free, so only bound when arity > 0).
+		if arity > 0 && nRows > uint64(d.remaining())/arity+1 {
+			return 0, d.fail(fmt.Sprintf("row count %d exceeds remaining %d bytes", nRows, d.remaining()))
+		}
+		if nRows > 1 && arity == 0 {
+			return 0, d.fail(fmt.Sprintf("zero-arity relation with %d rows", nRows))
+		}
+		rel := CheckpointRelation{Name: name, Arity: int(arity)}
+		rel.Rows = make([][]ast.Term, nRows)
+		for r := range rel.Rows {
+			row := make([]ast.Term, arity)
+			for c := range row {
+				t, err := d.term(0)
+				if err != nil {
+					return 0, err
+				}
+				row[c] = t
+			}
+			rel.Rows[r] = row
+		}
+		if err := fn(rel); err != nil {
+			return 0, err
+		}
+	}
+	if d.off != len(payload) {
+		return 0, d.fail(fmt.Sprintf("%d trailing bytes after checkpoint payload", len(payload)-d.off))
+	}
+	return version, nil
+}

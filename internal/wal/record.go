@@ -1,0 +1,374 @@
+// Record framing and the binary term encoding of the write-ahead log.
+//
+// Every committed batch becomes exactly one framed record:
+//
+//	header  [ver:1][kind:1][len:4 LE][crc32:4 LE]   (10 bytes)
+//	payload uvarint commitVersion
+//	        uvarint #retracts, then that many atoms
+//	        uvarint #asserts,  then that many atoms
+//
+// An atom is [uvarint len pred][pred][uvarint len adorn][adorn]
+// [uvarint arity][terms]; a term is one tag byte followed by its data —
+// symbols as length-prefixed strings, integers as zigzag varints, compound
+// terms as functor + argument count + arguments, recursively. The CRC32
+// (Castagnoli) covers the payload only, so a header surviving a torn write
+// with a garbled payload still fails verification.
+//
+// The decoder is defensive by construction: every length is checked against
+// the remaining bytes before any allocation, term nesting is depth-capped,
+// and every failure — short frame, bad magic, CRC mismatch, malformed
+// payload — is a *CorruptError carrying the absolute byte offset and
+// matching ErrCorruptLog via errors.Is. It never panics on arbitrary input
+// (pinned by FuzzDecodeRecord).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/ast"
+)
+
+// Record kinds. KindCommit carries one committed batch; KindSeal is the
+// empty clean-shutdown marker Log.Seal appends on Close.
+const (
+	KindCommit byte = 1
+	KindSeal   byte = 2
+)
+
+// recordFormat is the framing format version stamped into every record
+// header; a record with an unknown format version fails decoding.
+const recordFormat byte = 1
+
+// headerSize is the fixed record header length.
+const headerSize = 10
+
+// maxRecordBytes bounds a single record's payload: a declared length beyond
+// it is treated as corruption rather than an allocation request.
+const maxRecordBytes = 64 << 20
+
+// maxTermDepth caps term nesting during decode. Legitimate data (long cons
+// lists) nests one level per element, so the cap is generous; its job is to
+// keep a crafted or corrupted payload from overflowing the stack.
+const maxTermDepth = 1 << 16
+
+// crcTable is the Castagnoli table shared by records and checkpoints.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptLog is the sentinel every decoding failure matches via
+// errors.Is: a corrupt or truncated log never panics replay, it surfaces as
+// a clean error with a byte offset (see CorruptError).
+var ErrCorruptLog = errors.New("wal: corrupt log")
+
+// CorruptError reports a decoding failure at an absolute byte offset of the
+// file being read. It matches ErrCorruptLog via errors.Is.
+type CorruptError struct {
+	// Path is the file the corruption was found in ("" when decoding a
+	// detached buffer).
+	Path string
+	// Offset is the absolute byte offset of the failure.
+	Offset int64
+	// Reason describes the failure.
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("wal: corrupt log at byte %d: %s", e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("wal: corrupt log: %s at byte %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorruptLog) match every CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorruptLog }
+
+// Record is one decoded log record.
+type Record struct {
+	Kind byte
+	// Version is the commit version the batch committed as (for KindSeal,
+	// the last version in the log when it was sealed).
+	Version  uint64
+	Retracts []ast.Atom
+	Asserts  []ast.Atom
+}
+
+// Term tags of the binary encoding.
+const (
+	tagSym  byte = 0
+	tagInt  byte = 1
+	tagComp byte = 2
+)
+
+// appendUvarint appends v in unsigned varint encoding.
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendTerm appends the binary encoding of a ground term.
+func appendTerm(dst []byte, t ast.Term) []byte {
+	switch x := t.(type) {
+	case ast.Sym:
+		dst = append(dst, tagSym)
+		return appendString(dst, x.Name)
+	case ast.Int:
+		dst = append(dst, tagInt)
+		return binary.AppendVarint(dst, x.Value)
+	case ast.Compound:
+		dst = append(dst, tagComp)
+		dst = appendString(dst, x.Functor)
+		dst = appendUvarint(dst, uint64(len(x.Args)))
+		for _, a := range x.Args {
+			dst = appendTerm(dst, a)
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("wal: cannot encode non-ground term %v", t))
+	}
+}
+
+// appendAtom appends the binary encoding of a ground atom.
+func appendAtom(dst []byte, a ast.Atom) []byte {
+	dst = appendString(dst, a.Pred)
+	dst = appendString(dst, string(a.Adorn))
+	dst = appendUvarint(dst, uint64(len(a.Args)))
+	for _, t := range a.Args {
+		dst = appendTerm(dst, t)
+	}
+	return dst
+}
+
+// appendRecord appends one framed record (header + payload) for the given
+// batch and returns the extended buffer.
+func appendRecord(dst []byte, kind byte, version uint64, retracts, asserts []ast.Atom) []byte {
+	start := len(dst)
+	dst = append(dst, recordFormat, kind, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = appendUvarint(dst, version)
+	dst = appendUvarint(dst, uint64(len(retracts)))
+	for _, a := range retracts {
+		dst = appendAtom(dst, a)
+	}
+	dst = appendUvarint(dst, uint64(len(asserts)))
+	for _, a := range asserts {
+		dst = appendAtom(dst, a)
+	}
+	payload := dst[start+headerSize:]
+	binary.LittleEndian.PutUint32(dst[start+2:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+6:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+// decoder walks a byte buffer, converting every malformed read into a
+// CorruptError at the right absolute offset.
+type decoder struct {
+	data []byte
+	off  int
+	// base is the absolute file offset of data[0], so errors report file
+	// positions, not buffer positions.
+	base int64
+	path string
+}
+
+func (d *decoder) fail(reason string) *CorruptError {
+	return &CorruptError{Path: d.path, Offset: d.base + int64(d.off), Reason: reason}
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.off }
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, d.fail("truncated or overlong varint in " + what)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint(what string) (int64, error) {
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		return 0, d.fail("truncated or overlong varint in " + what)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) string(what string) (string, error) {
+	n, err := d.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.remaining()) {
+		return "", d.fail(fmt.Sprintf("%s length %d exceeds remaining %d bytes", what, n, d.remaining()))
+	}
+	s := string(d.data[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// term decodes one term at the given nesting depth.
+func (d *decoder) term(depth int) (ast.Term, error) {
+	if depth > maxTermDepth {
+		return nil, d.fail("term nesting exceeds the depth cap")
+	}
+	if d.remaining() < 1 {
+		return nil, d.fail("truncated term tag")
+	}
+	tag := d.data[d.off]
+	d.off++
+	switch tag {
+	case tagSym:
+		name, err := d.string("symbol")
+		if err != nil {
+			return nil, err
+		}
+		return ast.Sym{Name: name}, nil
+	case tagInt:
+		v, err := d.varint("integer")
+		if err != nil {
+			return nil, err
+		}
+		return ast.Int{Value: v}, nil
+	case tagComp:
+		functor, err := d.string("functor")
+		if err != nil {
+			return nil, err
+		}
+		argc, err := d.uvarint("argument count")
+		if err != nil {
+			return nil, err
+		}
+		// Every argument costs at least one tag byte, so the count cannot
+		// exceed the remaining bytes: checked before allocating.
+		if argc > uint64(d.remaining()) {
+			return nil, d.fail(fmt.Sprintf("argument count %d exceeds remaining %d bytes", argc, d.remaining()))
+		}
+		args := make([]ast.Term, argc)
+		for i := range args {
+			a, err := d.term(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = a
+		}
+		return ast.Compound{Functor: functor, Args: args}, nil
+	default:
+		return nil, d.fail(fmt.Sprintf("unknown term tag %d", tag))
+	}
+}
+
+// atom decodes one atom.
+func (d *decoder) atom() (ast.Atom, error) {
+	pred, err := d.string("predicate name")
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if pred == "" {
+		return ast.Atom{}, d.fail("empty predicate name")
+	}
+	adorn, err := d.string("adornment")
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	arity, err := d.uvarint("arity")
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if arity > uint64(d.remaining()) {
+		return ast.Atom{}, d.fail(fmt.Sprintf("arity %d exceeds remaining %d bytes", arity, d.remaining()))
+	}
+	var args []ast.Term
+	if arity > 0 {
+		args = make([]ast.Term, arity)
+		for i := range args {
+			t, err := d.term(0)
+			if err != nil {
+				return ast.Atom{}, err
+			}
+			args[i] = t
+		}
+	}
+	return ast.Atom{Pred: pred, Adorn: ast.Adornment(adorn), Args: args}, nil
+}
+
+// atoms decodes a length-prefixed atom list.
+func (d *decoder) atoms(what string) ([]ast.Atom, error) {
+	n, err := d.uvarint(what + " count")
+	if err != nil {
+		return nil, err
+	}
+	// An atom costs at least 3 bytes (two empty strings + arity).
+	if n > uint64(d.remaining()/3+1) {
+		return nil, d.fail(fmt.Sprintf("%s count %d exceeds remaining %d bytes", what, n, d.remaining()))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]ast.Atom, n)
+	for i := range out {
+		a, err := d.atom()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// decodeRecord decodes one framed record from data (whose first byte sits at
+// absolute file offset base in file path). It returns the record and the
+// total number of bytes consumed. Any failure — a frame extending past the
+// buffer, a CRC mismatch, a malformed payload — is a *CorruptError; the
+// caller decides whether the failure is a torn tail (end replay cleanly) or
+// hard corruption (fail recovery).
+func decodeRecord(data []byte, base int64, path string) (Record, int, error) {
+	fail := func(off int, reason string) (Record, int, error) {
+		return Record{}, 0, &CorruptError{Path: path, Offset: base + int64(off), Reason: reason}
+	}
+	if len(data) < headerSize {
+		return fail(0, fmt.Sprintf("truncated record header: %d of %d bytes", len(data), headerSize))
+	}
+	if data[0] != recordFormat {
+		return fail(0, fmt.Sprintf("unknown record format version %d", data[0]))
+	}
+	kind := data[1]
+	if kind != KindCommit && kind != KindSeal {
+		return fail(1, fmt.Sprintf("unknown record kind %d", kind))
+	}
+	plen := binary.LittleEndian.Uint32(data[2:])
+	if plen > maxRecordBytes {
+		return fail(2, fmt.Sprintf("declared payload length %d exceeds the %d-byte record cap", plen, maxRecordBytes))
+	}
+	if uint64(plen) > uint64(len(data)-headerSize) {
+		return fail(2, fmt.Sprintf("payload length %d exceeds remaining %d bytes", plen, len(data)-headerSize))
+	}
+	payload := data[headerSize : headerSize+int(plen)]
+	if crc := crc32.Checksum(payload, crcTable); crc != binary.LittleEndian.Uint32(data[6:]) {
+		return fail(6, "payload CRC mismatch")
+	}
+	d := &decoder{data: payload, base: base + headerSize, path: path}
+	version, err := d.uvarint("commit version")
+	if err != nil {
+		return Record{}, 0, err
+	}
+	rec := Record{Kind: kind, Version: version}
+	// Seal records carry empty lists; decoding them uniformly keeps the
+	// frame layout identical across kinds.
+	if rec.Retracts, err = d.atoms("retract"); err != nil {
+		return Record{}, 0, err
+	}
+	if rec.Asserts, err = d.atoms("assert"); err != nil {
+		return Record{}, 0, err
+	}
+	if d.off != len(payload) {
+		return Record{}, 0, d.fail(fmt.Sprintf("%d trailing bytes after record payload", len(payload)-d.off))
+	}
+	return rec, headerSize + int(plen), nil
+}

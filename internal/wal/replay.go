@@ -1,0 +1,124 @@
+// Log replay: scanning the segment sequence on open, distinguishing a torn
+// tail (tolerated) from mid-log corruption (fatal), and positioning the log
+// for appending.
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+// ReplayInfo summarizes what Replay found.
+type ReplayInfo struct {
+	// Records is the number of commit records delivered to the callback.
+	Records int
+	// Bytes is the total size of the scanned segments.
+	Bytes int64
+	// LastVersion is the version the replayed prefix ends at (equal to the
+	// `from` argument when the log held nothing newer).
+	LastVersion uint64
+	// TornTail reports that the final segment ended in a torn or corrupt
+	// record, which was truncated away.
+	TornTail bool
+	// TornOffset is the byte offset the tail was truncated at (only
+	// meaningful when TornTail is set).
+	TornOffset int64
+	// Sealed reports that the log ended with a clean-shutdown seal record.
+	Sealed bool
+}
+
+// Replay scans every segment in order, delivering each committed batch with
+// version > from to fn in commit order, and then positions the log so
+// subsequent Appends continue the sequence. It must be called exactly once,
+// before any Append — including on a fresh, empty directory.
+//
+// Failure policy (the recovery invariant): a record that fails to decode in
+// the final segment is a torn tail — the write that was in flight when the
+// process died — so the tail is truncated at the failure offset and replay
+// ends cleanly. The same failure in any earlier segment cannot be explained
+// by a crash mid-append (later segments exist, so appends moved on) and is
+// reported as ErrCorruptLog with the byte offset. A gap in the version
+// sequence is likewise fatal: it means acknowledged commits are missing.
+//
+// An error from fn aborts replay as-is (it is an apply failure, not log
+// corruption).
+func (l *Log) Replay(from uint64, fn func(Record) error) (ReplayInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ReplayInfo{}, fmt.Errorf("wal: log is closed")
+	}
+	if l.f != nil {
+		return ReplayInfo{}, fmt.Errorf("wal: replay after append")
+	}
+	info := ReplayInfo{LastVersion: from}
+	last := from
+	for i, seg := range l.segments {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return info, fmt.Errorf("wal: read segment: %w", err)
+		}
+		info.Bytes += int64(len(data))
+		off := 0
+		for off < len(data) {
+			rec, n, derr := decodeRecord(data[off:], int64(off), seg.path)
+			if derr != nil {
+				if i == len(l.segments)-1 {
+					// Torn tail: truncate the in-flight write away so the
+					// next append starts on a clean frame boundary.
+					if err := os.Truncate(seg.path, int64(off)); err != nil {
+						return info, fmt.Errorf("wal: truncate torn tail: %w", err)
+					}
+					info.TornTail = true
+					info.TornOffset = int64(off)
+					info.Bytes -= int64(len(data) - off)
+					data = data[:off]
+					break
+				}
+				return info, derr
+			}
+			switch rec.Kind {
+			case KindSeal:
+				info.Sealed = true
+			case KindCommit:
+				info.Sealed = false
+				if rec.Version <= from {
+					// Already captured by the checkpoint being recovered
+					// from; the segment holding it just wasn't truncated yet.
+					break
+				}
+				if rec.Version != last+1 {
+					return info, &CorruptError{
+						Path:   seg.path,
+						Offset: int64(off),
+						Reason: fmt.Sprintf("version gap: record %d after %d", rec.Version, last),
+					}
+				}
+				if err := fn(rec); err != nil {
+					return info, err
+				}
+				last = rec.Version
+				info.Records++
+			}
+			off += n
+		}
+		if i == len(l.segments)-1 {
+			// Reopen the final segment for appending at its (possibly
+			// truncated) end.
+			f, err := os.OpenFile(seg.path, os.O_WRONLY, 0o644)
+			if err != nil {
+				return info, fmt.Errorf("wal: reopen segment: %w", err)
+			}
+			end := int64(len(data))
+			if _, err := f.Seek(end, 0); err != nil {
+				f.Close()
+				return info, fmt.Errorf("wal: seek segment end: %w", err)
+			}
+			l.f = f
+			l.size = end
+		}
+	}
+	info.LastVersion = last
+	l.lastVer = last
+	return info, nil
+}

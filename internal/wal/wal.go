@@ -1,0 +1,425 @@
+// Package wal implements the durability subsystem: a segmented, CRC-framed
+// write-ahead log of commit batches, full-EDB checkpoint files, and
+// torn-tail-tolerant replay.
+//
+// A Log lives in one directory:
+//
+//	wal-%016x.log        log segments, named by the first commit version
+//	                     they contain; the highest-named segment is active
+//	checkpoint-%016x.ckpt EDB snapshots, named by the version they capture
+//	*.tmp                in-progress checkpoints (deleted on Open)
+//
+// The contract the datalog layer builds on: a batch is appended (and, under
+// SyncAlways, fsynced) before the in-memory store applies it, so an
+// acknowledged commit is durable and recovery replays exactly the prefix of
+// acknowledged commits. Checkpoints are written from an immutable snapshot
+// to a temp file and atomically renamed, so a crash at any point leaves
+// either the old recovery state or the new one, never a torn mix; log
+// segments are only deleted once a checkpoint at a covering version is
+// durably in place.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ast"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged commit has
+	// reached stable storage. The only policy under which
+	// acknowledged-implies-durable holds against power loss.
+	SyncAlways SyncPolicy = "always"
+	// SyncInterval fsyncs from a background ticker (and on Seal/Sync/Close):
+	// a crash loses at most the last interval of acknowledged commits, but
+	// recovery still sees a clean prefix.
+	SyncInterval SyncPolicy = "interval"
+	// SyncNone never fsyncs except on Seal/Sync/Close: durability is left
+	// to the operating system's writeback.
+	SyncNone SyncPolicy = "none"
+)
+
+// Defaults for zero-valued Options fields.
+const (
+	DefaultSegmentBytes = 64 << 20
+	DefaultSyncInterval = 50 * time.Millisecond
+)
+
+// Options configures a Log.
+type Options struct {
+	// Sync is the fsync policy; zero value means SyncAlways.
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period under SyncInterval.
+	SyncInterval time.Duration
+	// SegmentBytes rotates the active segment once it reaches this size.
+	SegmentBytes int64
+}
+
+// Stats is a point-in-time snapshot of the log's counters. Counters cover
+// this process's lifetime, not the whole on-disk history.
+type Stats struct {
+	// RecordsAppended counts commit records appended.
+	RecordsAppended uint64
+	// BytesAppended counts bytes appended (headers included).
+	BytesAppended uint64
+	// Fsyncs counts fsync calls on segment files.
+	Fsyncs uint64
+	// Segments is the number of on-disk log segments.
+	Segments int
+	// LastCheckpoint is the version of the newest durable checkpoint file
+	// (0 when none exists).
+	LastCheckpoint uint64
+}
+
+type segment struct {
+	start uint64 // first commit version the segment contains
+	path  string
+}
+
+// Log is a segmented write-ahead log rooted at one directory. All methods
+// are safe for concurrent use; appends are serialized internally.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment, nil until the first append or replay
+	size     int64    // active segment size
+	segments []segment
+	lastVer  uint64 // last commit version appended or replayed
+	buf      []byte // scratch encode buffer, reused across appends
+	dirty    bool   // unsynced bytes in the active segment
+	closed   bool
+
+	records uint64
+	bytes   uint64
+	fsyncs  atomic.Uint64 // also bumped by the interval goroutine
+
+	lastCheckpoint uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open opens (creating if necessary) the log directory, removes leftover
+// temp files from interrupted checkpoints, and indexes the existing
+// segments and checkpoints. The log is not readable or appendable until
+// Replay has run — Replay establishes the append position even when the
+// directory is empty.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.Sync == "" {
+		opts.Sync = SyncAlways
+	}
+	switch opts.Sync {
+	case SyncAlways, SyncInterval, SyncNone:
+	default:
+		return nil, fmt.Errorf("wal: unknown sync policy %q", opts.Sync)
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = DefaultSyncInterval
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create directory: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read directory: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// An interrupted checkpoint; its rename never happened, so it is
+			// invisible to recovery and safe to drop.
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, fmt.Errorf("wal: remove stale temp file: %w", err)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			var start uint64
+			if _, err := fmt.Sscanf(name, "wal-%016x.log", &start); err != nil {
+				return nil, fmt.Errorf("wal: unparseable segment name %q", name)
+			}
+			l.segments = append(l.segments, segment{start: start, path: filepath.Join(dir, name)})
+		case strings.HasPrefix(name, "checkpoint-") && strings.HasSuffix(name, ".ckpt"):
+			var v uint64
+			if _, err := fmt.Sscanf(name, "checkpoint-%016x.ckpt", &v); err != nil {
+				return nil, fmt.Errorf("wal: unparseable checkpoint name %q", name)
+			}
+			if v > l.lastCheckpoint {
+				l.lastCheckpoint = v
+			}
+		}
+	}
+	sort.Slice(l.segments, func(i, j int) bool { return l.segments[i].start < l.segments[j].start })
+	if opts.Sync == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// syncLoop is the background fsync ticker for SyncInterval.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			l.syncLocked()
+			l.mu.Unlock()
+		}
+	}
+}
+
+// syncLocked fsyncs the active segment if it has unsynced bytes. Callers
+// hold l.mu. The error (rare: the device failing) is returned for explicit
+// Sync/Seal callers; the ticker drops it, the next append or sync retries.
+func (l *Log) syncLocked() error {
+	if !l.dirty || l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.fsyncs.Add(1)
+	l.dirty = false
+	return nil
+}
+
+// segmentPath names the segment whose first commit version is start.
+func (l *Log) segmentPath(start uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("wal-%016x.log", start))
+}
+
+// checkpointPath names the checkpoint capturing version v.
+func (l *Log) checkpointPath(v uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("checkpoint-%016x.ckpt", v))
+}
+
+// rotateLocked closes the active segment (fsyncing pending bytes) and
+// starts a fresh one whose first record will be version start.
+func (l *Log) rotateLocked(start uint64) error {
+	if l.f != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+		l.f = nil
+	}
+	path := l.segmentPath(start)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	// Make the new segment's directory entry durable so recovery after a
+	// crash sees the same segment sequence appends went to.
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.size = 0
+	l.segments = append(l.segments, segment{start: start, path: path})
+	return nil
+}
+
+// Append encodes one committed batch as a framed record, writes it to the
+// active segment, and applies the fsync policy. version must be the store
+// version the batch commits as; appends must arrive in version order.
+// When Append returns nil under SyncAlways, the record is on stable
+// storage. On error the segment is truncated back to the pre-append offset,
+// so a failed append never leaves a partial frame for a later one to bury.
+func (l *Log) Append(version uint64, retracts, asserts []ast.Atom) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if version != l.lastVer+1 {
+		return fmt.Errorf("wal: out-of-order append: version %d after %d", version, l.lastVer)
+	}
+	if l.f == nil || l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(version); err != nil {
+			return err
+		}
+	}
+	l.buf = appendRecord(l.buf[:0], KindCommit, version, retracts, asserts)
+	if _, err := l.f.Write(l.buf); err != nil {
+		// Restore the pre-append offset: a short write must not leave bytes
+		// for the next append to land after.
+		l.f.Truncate(l.size)
+		l.f.Seek(l.size, 0)
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(l.buf))
+	l.records++
+	l.bytes += uint64(len(l.buf))
+	l.lastVer = version
+	l.dirty = true
+	if l.opts.Sync == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces pending appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// Seal appends a clean-shutdown marker and fsyncs. A sealed tail lets a
+// reader distinguish "process exited cleanly" from "tail may be torn",
+// though replay treats both safely.
+func (l *Log) Seal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if l.f == nil {
+		// Nothing was ever appended; an empty log needs no seal.
+		return nil
+	}
+	l.buf = appendRecord(l.buf[:0], KindSeal, l.lastVer, nil, nil)
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.f.Truncate(l.size)
+		l.f.Seek(l.size, 0)
+		return fmt.Errorf("wal: seal: %w", err)
+	}
+	l.size += int64(len(l.buf))
+	l.bytes += uint64(len(l.buf))
+	l.dirty = true
+	return l.syncLocked()
+}
+
+// Close seals the log, stops the background syncer, and closes the active
+// segment. The log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+	}
+	sealErr := l.Seal()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.f != nil {
+		if err := l.f.Close(); err != nil && sealErr == nil {
+			sealErr = fmt.Errorf("wal: close segment: %w", err)
+		}
+		l.f = nil
+	}
+	return sealErr
+}
+
+// TruncateThrough deletes log segments whose every record has version ≤ v,
+// plus checkpoint files older than the newest one. The active (last)
+// segment is never deleted. It returns the number of segments removed.
+// Callers must only pass a v for which a checkpoint at version ≥ v is
+// durably on disk — the records being deleted are the only other copy.
+func (l *Log) TruncateThrough(v uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	// Segment i's records all have versions < segments[i+1].start, so it is
+	// fully covered once segments[i+1].start <= v+1.
+	for len(l.segments) > 1 && l.segments[1].start <= v+1 {
+		if err := os.Remove(l.segments[0].path); err != nil {
+			return removed, fmt.Errorf("wal: remove segment: %w", err)
+		}
+		l.segments = l.segments[1:]
+		removed++
+	}
+	// Older checkpoints are strictly dominated by the newest one.
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return removed, fmt.Errorf("wal: read directory: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		var cv uint64
+		if _, err := fmt.Sscanf(name, "checkpoint-%016x.ckpt", &cv); err == nil && cv < l.lastCheckpoint {
+			if err := os.Remove(filepath.Join(l.dir, name)); err != nil {
+				return removed, fmt.Errorf("wal: remove checkpoint: %w", err)
+			}
+		}
+	}
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// LatestCheckpoint returns the version and path of the newest durable
+// checkpoint, or ok=false when none exists.
+func (l *Log) LatestCheckpoint() (version uint64, path string, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lastCheckpoint == 0 {
+		return 0, "", false
+	}
+	return l.lastCheckpoint, l.checkpointPath(l.lastCheckpoint), true
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		RecordsAppended: l.records,
+		BytesAppended:   l.bytes,
+		Fsyncs:          l.fsyncs.Load(),
+		Segments:        len(l.segments),
+		LastCheckpoint:  l.lastCheckpoint,
+	}
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open directory for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync directory: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// atom builds a ground test atom over symbol arguments.
+func atom(pred string, args ...string) ast.Atom {
+	terms := make([]ast.Term, len(args))
+	for i, a := range args {
+		terms[i] = ast.Sym{Name: a}
+	}
+	return ast.Atom{Pred: pred, Args: terms}
+}
+
+// openReplayed opens a log and replays it, returning the log, the replay
+// info and the collected commit records.
+func openReplayed(t *testing.T, dir string, opts Options) (*Log, ReplayInfo, []Record) {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var recs []Record
+	info, err := l.Replay(0, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return l, info, recs
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, info, recs := openReplayed(t, dir, Options{})
+	if info.Records != 0 || len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", info.Records)
+	}
+	batches := []struct {
+		retracts, asserts []ast.Atom
+	}{
+		{nil, []ast.Atom{atom("edge", "a", "b"), atom("edge", "b", "c")}},
+		{[]ast.Atom{atom("edge", "a", "b")}, []ast.Atom{atom("node", "x")}},
+		{nil, []ast.Atom{{Pred: "measure", Args: []ast.Term{
+			ast.Int{Value: -42},
+			ast.Compound{Functor: "pair", Args: []ast.Term{ast.Sym{Name: "u"}, ast.Int{Value: 7}}},
+		}}}},
+	}
+	for i, b := range batches {
+		if err := l.Append(uint64(i+1), b.retracts, b.asserts); err != nil {
+			t.Fatalf("Append %d: %v", i+1, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, info2, recs2 := openReplayed(t, dir, Options{})
+	defer l2.Close()
+	if info2.Records != len(batches) {
+		t.Fatalf("replayed %d records, want %d", info2.Records, len(batches))
+	}
+	if !info2.Sealed {
+		t.Fatalf("clean-closed log not reported sealed")
+	}
+	if info2.LastVersion != uint64(len(batches)) {
+		t.Fatalf("LastVersion = %d, want %d", info2.LastVersion, len(batches))
+	}
+	for i, rec := range recs2 {
+		if rec.Version != uint64(i+1) {
+			t.Fatalf("record %d has version %d", i, rec.Version)
+		}
+		want := batches[i]
+		if len(rec.Retracts) != len(want.retracts) || len(rec.Asserts) != len(want.asserts) {
+			t.Fatalf("record %d shape mismatch: %+v", i, rec)
+		}
+		for j, a := range rec.Asserts {
+			if a.String() != want.asserts[j].String() {
+				t.Fatalf("record %d assert %d: got %s want %s", i, j, a, want.asserts[j])
+			}
+		}
+		for j, a := range rec.Retracts {
+			if a.String() != want.retracts[j].String() {
+				t.Fatalf("record %d retract %d: got %s want %s", i, j, a, want.retracts[j])
+			}
+		}
+	}
+
+	// Appends continue the version sequence after replay.
+	if err := l2.Append(uint64(len(batches))+2, nil, []ast.Atom{atom("p", "x")}); err == nil {
+		t.Fatalf("out-of-order append accepted")
+	}
+	if err := l2.Append(uint64(len(batches))+1, nil, []ast.Atom{atom("p", "x")}); err != nil {
+		t.Fatalf("continuing append: %v", err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 5, headerSize, headerSize + 3} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, _ := openReplayed(t, dir, Options{})
+			for v := uint64(1); v <= 3; v++ {
+				if err := l.Append(v, nil, []ast.Atom{atom("p", fmt.Sprint(v))}); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			// Simulate a torn write: keep a prefix of the fourth record.
+			full := appendRecord(nil, KindCommit, 4, nil, []ast.Atom{atom("p", "4")})
+			if cut > len(full) {
+				t.Skip("cut longer than record")
+			}
+			seg := l.segments[len(l.segments)-1].path
+			f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write(full[:cut])
+			f.Close()
+			// Abandon l without Close (a seal would hide the torn tail).
+
+			l2, info, _ := openReplayed(t, dir, Options{})
+			defer l2.Close()
+			if info.Records != 3 || info.LastVersion != 3 {
+				t.Fatalf("replay got %d records to version %d, want 3", info.Records, info.LastVersion)
+			}
+			if !info.TornTail {
+				t.Fatalf("torn tail not reported")
+			}
+			if info.Sealed {
+				t.Fatalf("torn log reported sealed")
+			}
+			// The tail was physically truncated: a new append must produce a
+			// cleanly replayable log.
+			if err := l2.Append(4, nil, []ast.Atom{atom("q", "4")}); err != nil {
+				t.Fatalf("append after torn-tail recovery: %v", err)
+			}
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l3, info3, recs := openReplayed(t, dir, Options{})
+			defer l3.Close()
+			if info3.TornTail || info3.Records != 4 {
+				t.Fatalf("after repair: %+v", info3)
+			}
+			if got := recs[3].Asserts[0].Pred; got != "q" {
+				t.Fatalf("record 4 pred = %q", got)
+			}
+		})
+	}
+}
+
+func TestCorruptionInSealedSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplayed(t, dir, Options{SegmentBytes: 1}) // rotate every append
+	for v := uint64(1); v <= 3; v++ {
+		if err := l.Append(v, nil, []ast.Atom{atom("p", fmt.Sprint(v))}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+	// Flip a payload byte in the FIRST segment: not the active tail, so this
+	// is unexplainable by a crash mid-append and must fail recovery.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v", segs)
+	}
+	data, _ := os.ReadFile(segs[0])
+	data[headerSize] ^= 0xff
+	os.WriteFile(segs[0], data, 0o644)
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	_, err = l2.Replay(0, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("replay error = %v, want ErrCorruptLog", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v carries no CorruptError", err)
+	}
+}
+
+func TestVersionGapIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplayed(t, dir, Options{})
+	l.Append(1, nil, []ast.Atom{atom("p", "1")})
+	l.Close()
+	// Forge a segment that skips version 2.
+	forged := appendRecord(nil, KindCommit, 3, nil, []ast.Atom{atom("p", "3")})
+	seg := l.segments[0].path
+	f, _ := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	f.Write(forged)
+	f.Close()
+	l2, _ := Open(dir, Options{})
+	_, err := l2.Replay(0, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("gap replay error = %v, want ErrCorruptLog", err)
+	}
+}
+
+func TestSegmentRotationAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplayed(t, dir, Options{SegmentBytes: 1})
+	const n = 6
+	for v := uint64(1); v <= n; v++ {
+		if err := l.Append(v, nil, []ast.Atom{atom("p", fmt.Sprint(v))}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if got := l.Stats().Segments; got != n {
+		t.Fatalf("segments = %d, want %d (1-byte rotation)", got, n)
+	}
+	// A checkpoint at version 4 covers segments 1..4 exactly.
+	w, err := l.BeginCheckpoint(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := l.TruncateThrough(4)
+	if err != nil {
+		t.Fatalf("TruncateThrough: %v", err)
+	}
+	if removed != 4 {
+		t.Fatalf("removed %d segments, want 4", removed)
+	}
+	l.Close()
+
+	// Replay(0) on the truncated log ignores the checkpoint it needs: the
+	// version-gap check must catch that rather than return partial state.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Replay(0, func(Record) error { return nil }); !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("Replay(0) after truncation = %v, want ErrCorruptLog", err)
+	}
+	// Replaying from the checkpoint version sees exactly 5 and 6.
+	l3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	info3, err := l3.Replay(4, func(r Record) error {
+		got = append(got, r.Version)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay(4): %v", err)
+	}
+	if len(got) != 2 || got[0] != 5 || got[1] != 6 || info3.LastVersion != 6 {
+		t.Fatalf("replay from checkpoint got %v (info %+v)", got, info3)
+	}
+	l3.Close()
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplayed(t, dir, Options{})
+	defer l.Close()
+	w, err := l.BeginCheckpoint(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Relation("edge", 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Row([]ast.Term{ast.Sym{Name: "a"}, ast.Sym{Name: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Row([]ast.Term{ast.Sym{Name: "b"}, ast.Int{Value: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Relation("flag", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Row(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, path, ok := l.LatestCheckpoint()
+	if !ok || v != 7 {
+		t.Fatalf("LatestCheckpoint = %d,%v", v, ok)
+	}
+	var rels []CheckpointRelation
+	rv, err := ReadCheckpoint(path, func(r CheckpointRelation) error {
+		rels = append(rels, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadCheckpoint: %v", err)
+	}
+	if rv != 7 || len(rels) != 2 {
+		t.Fatalf("version %d, %d relations", rv, len(rels))
+	}
+	if rels[0].Name != "edge" || rels[0].Arity != 2 || len(rels[0].Rows) != 2 {
+		t.Fatalf("edge relation: %+v", rels[0])
+	}
+	if rels[1].Name != "flag" || rels[1].Arity != 0 || len(rels[1].Rows) != 1 {
+		t.Fatalf("flag relation: %+v", rels[1])
+	}
+	if got := rels[0].Rows[1][1]; got != (ast.Int{Value: 9}) {
+		t.Fatalf("row term = %v", got)
+	}
+
+	// A flipped byte anywhere must be caught by the trailer CRC.
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0x01
+	os.WriteFile(path, data, 0o644)
+	if _, err := ReadCheckpoint(path, func(CheckpointRelation) error { return nil }); !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("corrupt checkpoint error = %v, want ErrCorruptLog", err)
+	}
+}
+
+func TestCheckpointTmpCleanedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "checkpoint-00000000000000aa.ckpt.tmp")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, _, _ := openReplayed(t, dir, Options{})
+	defer l.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp file survived Open: %v", err)
+	}
+	if _, _, ok := l.LatestCheckpoint(); ok {
+		t.Fatalf("tmp file counted as a checkpoint")
+	}
+}
+
+func TestDecodeRejectsOversizedDeclaredLength(t *testing.T) {
+	// A header declaring a huge payload must fail cleanly without allocating.
+	var hdr [headerSize]byte
+	hdr[0] = recordFormat
+	hdr[1] = KindCommit
+	binary.LittleEndian.PutUint32(hdr[2:], maxRecordBytes+1)
+	_, _, err := decodeRecord(hdr[:], 0, "")
+	if !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSealOnEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplayed(t, dir, Options{})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close on empty log: %v", err)
+	}
+	// No segment should have been created just to hold a seal.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 0 {
+		t.Fatalf("empty log created segments: %v", segs)
+	}
+}

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Serving-layer smoke: boot datalogd, fire a datalogbench burst at it,
 # assert non-zero error-free throughput, and check the server shuts down
-# cleanly on SIGTERM. `make loadtest` runs this locally; CI runs it as the
-# serving smoke step.
+# cleanly on SIGTERM. A second phase reruns the burst write-heavy against
+# a WAL-backed server (-data-dir), then restarts it and asserts the
+# committed version was recovered. `make loadtest` runs this locally; CI
+# runs it as the serving smoke step.
 set -eu
 
 ADDR=${ADDR:-127.0.0.1:8357}
@@ -41,3 +43,52 @@ if ! grep -q "shutdown clean" "$workdir/datalogd.log"; then
     exit 1
 fi
 echo "loadtest: clean shutdown confirmed"
+
+# Phase 2: the same burst, write-heavy, against a WAL-backed server; the
+# SIGTERM path must checkpoint + seal, and a restart must recover the
+# committed version instead of booting empty.
+"$workdir/datalogd" -addr "$ADDR" -max-concurrent 64 -timeout 10s \
+    -data-dir "$workdir/data" -fsync interval -checkpoint-every 500 \
+    > "$workdir/datalogd_wal.log" 2>&1 &
+server_pid=$!
+
+"$workdir/datalogbench" -addr "http://$ADDR" -clients "$CLIENTS" \
+    -duration "$DURATION" -chain "$CHAIN" -mix txn=80,query=20 -txn-batch 8 \
+    -out "$workdir/bench_wal.json"
+if grep -E '"errors": [1-9]' "$workdir/bench_wal.json"; then
+    echo "loadtest: requests failed during the WAL burst" >&2
+    cat "$workdir/datalogd_wal.log" >&2
+    exit 1
+fi
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+if ! grep -q "sealed " "$workdir/datalogd_wal.log" || \
+   ! grep -q "shutdown clean" "$workdir/datalogd_wal.log"; then
+    echo "loadtest: WAL-backed server did not seal + shut down cleanly:" >&2
+    cat "$workdir/datalogd_wal.log" >&2
+    exit 1
+fi
+
+"$workdir/datalogd" -addr "$ADDR" -data-dir "$workdir/data" \
+    > "$workdir/datalogd_recover.log" 2>&1 &
+server_pid=$!
+i=0
+until version=$(curl -sf "http://$ADDR/v1/stats" 2>/dev/null); do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "loadtest: recovered server never became healthy" >&2
+        cat "$workdir/datalogd_recover.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if ! echo "$version" | grep -q '"recovered_version": *[1-9]'; then
+    echo "loadtest: restart did not recover the committed version:" >&2
+    echo "$version" >&2
+    cat "$workdir/datalogd_recover.log" >&2
+    exit 1
+fi
+kill -TERM "$server_pid"
+wait "$server_pid"
+echo "loadtest: WAL burst, sealed shutdown and recovery confirmed"
